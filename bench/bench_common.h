@@ -1,0 +1,64 @@
+#ifndef DFI_BENCH_BENCH_COMMON_H_
+#define DFI_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util/table_printer.h"
+#include "bench_util/workload.h"
+#include "common/units.h"
+#include "core/dfi.h"
+
+namespace dfi::bench {
+
+/// Builds a fabric with `n` nodes using the default EDR-like SimConfig and
+/// returns the node addresses.
+inline std::vector<std::string> MakeCluster(net::Fabric* fabric, size_t n) {
+  std::vector<std::string> addrs;
+  for (net::NodeId id : fabric->AddNodes(n)) {
+    addrs.push_back(fabric->node(id).address());
+  }
+  return addrs;
+}
+
+/// Formats a byte/ns rate as GiB/s with two decimals (the unit of the
+/// paper's bandwidth plots).
+inline std::string Rate(double bytes, SimTime ns) {
+  if (ns <= 0) return "-";
+  const double gib_per_s = bytes / static_cast<double>(ns) * 1e9 / kGiB;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f GiB/s", gib_per_s);
+  return buf;
+}
+
+inline std::string Micros(SimTime ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f us", ns / 1000.0);
+  return buf;
+}
+
+inline std::string Millis(SimTime ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f ms", ns / 1.0e6);
+  return buf;
+}
+
+inline std::string Num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f", v);
+  return buf;
+}
+
+/// A pad schema with an 8-byte key and `size`-byte total tuples.
+inline Schema PaddedSchema(uint32_t size) {
+  DFI_CHECK_GE(size, 8u);
+  if (size == 8) return Schema{{"key", DataType::kUInt64}};
+  return Schema{{"key", DataType::kUInt64},
+                {"pad", DataType::kChar, size - 8}};
+}
+
+}  // namespace dfi::bench
+
+#endif  // DFI_BENCH_BENCH_COMMON_H_

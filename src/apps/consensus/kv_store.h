@@ -1,0 +1,42 @@
+#ifndef DFI_APPS_CONSENSUS_KV_STORE_H_
+#define DFI_APPS_CONSENSUS_KV_STORE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+
+namespace dfi::consensus {
+
+/// Value payload of the replicated key-value store (paper section 6.3.2
+/// uses 64-byte requests; the value share of a request is 48 bytes).
+inline constexpr size_t kValueBytes = 48;
+using Value = std::array<uint8_t, kValueBytes>;
+
+/// The state machine replicated by the consensus protocols: a simple
+/// in-memory KV store. Single-writer (the replica thread applying log
+/// entries in order); reads may come from the same thread.
+class KvStore {
+ public:
+  void Put(uint64_t key, const Value& value) { map_[key] = value; }
+
+  /// Returns false (and zeroes `out`) if the key is absent.
+  bool Get(uint64_t key, Value* out) const {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      out->fill(0);
+      return false;
+    }
+    *out = it->second;
+    return true;
+  }
+
+  size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<uint64_t, Value> map_;
+};
+
+}  // namespace dfi::consensus
+
+#endif  // DFI_APPS_CONSENSUS_KV_STORE_H_

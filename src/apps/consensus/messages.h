@@ -1,0 +1,84 @@
+#ifndef DFI_APPS_CONSENSUS_MESSAGES_H_
+#define DFI_APPS_CONSENSUS_MESSAGES_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "apps/consensus/kv_store.h"
+#include "core/schema.h"
+
+namespace dfi::consensus {
+
+/// 64-byte client request (paper section 6.3.2: clients submit 64-byte
+/// requests). Packed wire format shared by all three systems.
+struct Command {
+  uint16_t client_id;
+  uint8_t is_write;
+  uint8_t pad0;
+  uint32_t req_id;
+  uint64_t key;
+  uint8_t value[kValueBytes];
+
+  static Schema MakeSchema() {
+    return Schema{{"client_id", DataType::kUInt16},
+                  {"is_write", DataType::kUInt8},
+                  {"pad0", DataType::kUInt8},
+                  {"req_id", DataType::kUInt32},
+                  {"key", DataType::kUInt64},
+                  {"value", DataType::kChar, kValueBytes}};
+  }
+};
+static_assert(sizeof(Command) == 64, "64-byte requests");
+
+/// Reply from the leader to a client.
+struct Reply {
+  uint16_t client_id;
+  uint8_t ok;
+  uint8_t pad0;
+  uint32_t req_id;
+  uint8_t value[kValueBytes];
+  uint64_t log_index;  ///< slot / OUM sequence the request committed at
+
+  static Schema MakeSchema() {
+    return Schema{{"client_id", DataType::kUInt16},
+                  {"ok", DataType::kUInt8},
+                  {"pad0", DataType::kUInt8},
+                  {"req_id", DataType::kUInt32},
+                  {"value", DataType::kChar, kValueBytes},
+                  {"log_index", DataType::kUInt64}};
+  }
+};
+static_assert(sizeof(Reply) == 64);
+
+/// Leader -> follower proposal (Multi-Paxos).
+struct Proposal {
+  uint64_t log_index;
+  Command cmd;
+
+  static Schema MakeSchema() {
+    return Schema{{"log_index", DataType::kUInt64},
+                  {"cmd", DataType::kChar, sizeof(Command)}};
+  }
+};
+static_assert(sizeof(Proposal) == 72);
+
+/// Follower -> leader vote (Multi-Paxos) / follower -> client view ack
+/// (NOPaxos).
+struct Vote {
+  uint64_t log_index;
+  uint16_t replica;
+  uint16_t client_id;  ///< NOPaxos: ack routed to this client
+  uint32_t req_id;
+
+  static Schema MakeSchema() {
+    return Schema{{"log_index", DataType::kUInt64},
+                  {"replica", DataType::kUInt16},
+                  {"client_id", DataType::kUInt16},
+                  {"req_id", DataType::kUInt32}};
+  }
+};
+static_assert(sizeof(Vote) == 16);
+
+}  // namespace dfi::consensus
+
+#endif  // DFI_APPS_CONSENSUS_MESSAGES_H_

@@ -1,0 +1,77 @@
+#ifndef DFI_APPS_JOIN_HASH_TABLE_H_
+#define DFI_APPS_JOIN_HASH_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace dfi::join {
+
+/// Open-addressing (linear probing) multimap from uint64 keys to uint64
+/// payloads, used for the cache-sized partitions of the radix hash join.
+/// Supports duplicate keys; power-of-two capacity.
+class JoinHashTable {
+ public:
+  JoinHashTable() = default;
+
+  /// Prepares for ~`expected` inserts (50% max load factor).
+  void Reserve(size_t expected) {
+    size_t cap = 16;
+    while (cap < expected * 2) cap <<= 1;
+    slots_.assign(cap, Slot{});
+    mask_ = cap - 1;
+    size_ = 0;
+  }
+
+  void Insert(uint64_t key, uint64_t payload) {
+    DFI_DCHECK(!slots_.empty());
+    DFI_DCHECK(size_ * 2 <= slots_.size()) << "table overfull";
+    size_t i = HashU64(key) & mask_;
+    while (slots_[i].used) {
+      i = (i + 1) & mask_;
+    }
+    slots_[i] = Slot{key, payload, true};
+    ++size_;
+  }
+
+  /// Invokes fn(payload) for every entry matching `key`; returns the match
+  /// count.
+  template <typename Fn>
+  size_t Probe(uint64_t key, Fn fn) const {
+    if (slots_.empty()) return 0;
+    size_t matches = 0;
+    size_t i = HashU64(key) & mask_;
+    while (slots_[i].used) {
+      if (slots_[i].key == key) {
+        fn(slots_[i].payload);
+        ++matches;
+      }
+      i = (i + 1) & mask_;
+    }
+    return matches;
+  }
+
+  /// Count-only probe.
+  size_t CountMatches(uint64_t key) const {
+    return Probe(key, [](uint64_t) {});
+  }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    uint64_t key = 0;
+    uint64_t payload = 0;
+    bool used = false;
+  };
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace dfi::join
+
+#endif  // DFI_APPS_JOIN_HASH_TABLE_H_

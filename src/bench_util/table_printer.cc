@@ -1,0 +1,52 @@
+#include "bench_util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace dfi::bench {
+
+TablePrinter::TablePrinter(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths;
+  for (const auto& row : rows_) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    for (size_t c = 0; c < rows_[r].size(); ++c) {
+      out += rows_[r][c];
+      if (c + 1 < rows_[r].size()) {
+        out.append(widths[c] - rows_[r][c].size() + 2, ' ');
+      }
+    }
+    out += '\n';
+    if (r == 0) {
+      size_t total = 0;
+      for (size_t c = 0; c < widths.size(); ++c) {
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+      }
+      out.append(total, '-');
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+void PrintSection(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace dfi::bench

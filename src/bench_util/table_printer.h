@@ -1,0 +1,35 @@
+#ifndef DFI_BENCH_UTIL_TABLE_PRINTER_H_
+#define DFI_BENCH_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace dfi::bench {
+
+/// Prints paper-style result tables with aligned columns:
+///
+///   TablePrinter t({"tuple size", "1 thread", "2 threads", "4 threads"});
+///   t.AddRow({"64 B", "3.71 GiB/s", "7.41 GiB/s", "11.64 GiB/s"});
+///   t.Print();
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Writes the table to stdout.
+  void Print() const;
+
+  /// Renders to a string (used by tests).
+  std::string ToString() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a benchmark section header ("=== Figure 7a: ... ===").
+void PrintSection(const std::string& title);
+
+}  // namespace dfi::bench
+
+#endif  // DFI_BENCH_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,56 @@
+#include "bench_util/workload.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dfi::bench {
+
+std::vector<JoinTuple> GenerateUniformRelation(uint64_t count,
+                                               uint64_t key_domain,
+                                               uint64_t seed) {
+  DFI_CHECK_GT(key_domain, 0u);
+  Xorshift128Plus rng(seed);
+  std::vector<JoinTuple> out;
+  out.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    out.push_back(JoinTuple{rng.NextBelow(key_domain), i});
+  }
+  return out;
+}
+
+std::vector<JoinTuple> GenerateForeignKeyRelation(uint64_t outer_count,
+                                                  uint64_t inner_count,
+                                                  uint64_t seed) {
+  return GenerateUniformRelation(outer_count, inner_count, seed);
+}
+
+std::vector<JoinTuple> GeneratePrimaryKeyRelation(uint64_t count,
+                                                  uint64_t seed) {
+  std::vector<JoinTuple> out;
+  out.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    out.push_back(JoinTuple{i, i});
+  }
+  Xorshift128Plus rng(seed);
+  for (uint64_t i = count; i > 1; --i) {
+    std::swap(out[i - 1], out[rng.NextBelow(i)]);
+  }
+  return out;
+}
+
+std::vector<KvRequest> GenerateYcsbRequests(uint64_t count,
+                                            uint64_t key_space,
+                                            double write_fraction,
+                                            double zipf_theta, uint64_t seed) {
+  Xorshift128Plus rng(seed);
+  ZipfGenerator zipf(key_space, zipf_theta, seed ^ 0xabcdef);
+  std::vector<KvRequest> out;
+  out.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    out.push_back(KvRequest{rng.NextBool(write_fraction), zipf.Next()});
+  }
+  return out;
+}
+
+}  // namespace dfi::bench

@@ -1,0 +1,51 @@
+#ifndef DFI_BENCH_UTIL_WORKLOAD_H_
+#define DFI_BENCH_UTIL_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace dfi::bench {
+
+/// A key/payload tuple of the join workloads (paper section 6.3.1; the
+/// evaluation uses 8 B compressed tuples, we use 16 B uncompressed).
+struct JoinTuple {
+  uint64_t key;
+  uint64_t payload;
+};
+
+/// Generates `count` tuples whose keys are a random permutation-free uniform
+/// draw from [0, key_domain). Deterministic for a seed.
+std::vector<JoinTuple> GenerateUniformRelation(uint64_t count,
+                                               uint64_t key_domain,
+                                               uint64_t seed);
+
+/// Generates a foreign-key relation: every key in [0, inner_count) appears
+/// outer_count/inner_count times on average (uniform), so the join result
+/// size is predictable (= outer_count when each outer key exists in inner).
+std::vector<JoinTuple> GenerateForeignKeyRelation(uint64_t outer_count,
+                                                  uint64_t inner_count,
+                                                  uint64_t seed);
+
+/// A dense primary-key relation: keys 0..count-1 shuffled.
+std::vector<JoinTuple> GeneratePrimaryKeyRelation(uint64_t count,
+                                                  uint64_t seed);
+
+/// One YCSB-style KV request (paper section 6.3.2: 64-byte requests, 95%
+/// reads / 5% writes, read-dominated workload B).
+struct KvRequest {
+  bool is_write;
+  uint64_t key;
+};
+
+/// Generates `count` requests over `key_space` keys with the given write
+/// fraction and Zipf skew (theta = 0 -> uniform).
+std::vector<KvRequest> GenerateYcsbRequests(uint64_t count,
+                                            uint64_t key_space,
+                                            double write_fraction,
+                                            double zipf_theta, uint64_t seed);
+
+}  // namespace dfi::bench
+
+#endif  // DFI_BENCH_UTIL_WORKLOAD_H_

@@ -1,0 +1,34 @@
+#ifndef DFI_COMMON_HASH_H_
+#define DFI_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dfi {
+
+/// 64-bit finalizer-quality integer hash (MurmurHash3 fmix64). This is the
+/// default key-based shuffle partitioner in DFI (paper section 3.2: "as
+/// default a simple key-based hash function is used").
+constexpr uint64_t HashU64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdull;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ull;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Hashes an arbitrary byte range (FNV-1a, 64-bit). Used for non-integer
+/// shuffle keys.
+uint64_t HashBytes(const void* data, size_t len);
+
+/// Extracts `bits` radix bits from a key after hashing, starting at bit
+/// `shift` — the partition function of the radix hash join.
+constexpr uint32_t RadixBits(uint64_t key, uint32_t shift, uint32_t bits) {
+  return static_cast<uint32_t>((HashU64(key) >> shift) &
+                               ((1ull << bits) - 1));
+}
+
+}  // namespace dfi
+
+#endif  // DFI_COMMON_HASH_H_

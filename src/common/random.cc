@@ -1,0 +1,71 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dfi {
+
+Xorshift128Plus::Xorshift128Plus(uint64_t seed) {
+  // SplitMix64 expansion of the seed avoids weak all-zero states.
+  auto splitmix = [&seed]() {
+    seed += 0x9e3779b97f4a7c15ull;
+    uint64_t z = seed;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  state_[0] = splitmix();
+  state_[1] = splitmix();
+}
+
+uint64_t Xorshift128Plus::Next() {
+  uint64_t x = state_[0];
+  const uint64_t y = state_[1];
+  state_[0] = y;
+  x ^= x << 23;
+  state_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return state_[1] + y;
+}
+
+uint64_t Xorshift128Plus::NextBelow(uint64_t bound) {
+  DFI_DCHECK(bound > 0);
+  return Next() % bound;
+}
+
+double Xorshift128Plus::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Xorshift128Plus::NextBool(double p) { return NextDouble() < p; }
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  DFI_CHECK_GT(n, 0u);
+  zetan_ = Zeta(n, theta);
+  const double zeta2 = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+double ZipfGenerator::Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+uint64_t ZipfGenerator::Next() {
+  if (theta_ == 0.0) return rng_.NextBelow(n_);
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const uint64_t v = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v >= n_ ? n_ - 1 : v;
+}
+
+}  // namespace dfi

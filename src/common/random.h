@@ -1,0 +1,56 @@
+#ifndef DFI_COMMON_RANDOM_H_
+#define DFI_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dfi {
+
+/// Small, fast, seedable PRNG (xorshift128+). Used for workload generation,
+/// backoff jitter and loss injection; deterministic for a given seed so
+/// benchmark results are reproducible.
+class Xorshift128Plus {
+ public:
+  explicit Xorshift128Plus(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  uint64_t Next();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool NextBool(double p);
+
+ private:
+  uint64_t state_[2];
+};
+
+/// Zipf-distributed generator over [0, n) with skew theta (theta = 0 is
+/// uniform). Uses the standard YCSB/Gray et al. rejection-free method with
+/// precomputed zeta constants.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 42);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Xorshift128Plus rng_;
+};
+
+}  // namespace dfi
+
+#endif  // DFI_COMMON_RANDOM_H_

@@ -1,0 +1,55 @@
+#ifndef DFI_COMMON_SIM_TIME_H_
+#define DFI_COMMON_SIM_TIME_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace dfi {
+
+/// Virtual time in nanoseconds. All performance accounting in the emulated
+/// network and in DFI's cost model uses virtual time, which makes benchmark
+/// results deterministic and independent of host core count (see DESIGN.md
+/// section 5).
+using SimTime = int64_t;
+
+/// Per-thread virtual clock. Every flow source/target thread (and every
+/// mini-MPI rank) owns one. The owning thread advances it by CPU cost-model
+/// charges; cross-thread causality joins it with timestamps carried on
+/// segments/footers via AdvanceTo().
+///
+/// Thread-safety: Advance/AdvanceTo are called by the owning thread only;
+/// now() may be read concurrently by other threads (e.g. the link scheduler
+/// or result reporting).
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+  explicit VirtualClock(SimTime start) : now_(start) {}
+
+  VirtualClock(const VirtualClock&) = delete;
+  VirtualClock& operator=(const VirtualClock&) = delete;
+
+  SimTime now() const { return now_.load(std::memory_order_acquire); }
+
+  /// Charges `delta` ns of virtual CPU/wait time.
+  void Advance(SimTime delta) {
+    now_.store(now_.load(std::memory_order_relaxed) + delta,
+               std::memory_order_release);
+  }
+
+  /// Joins with an external event: clock = max(clock, t). Used when the
+  /// thread consumes data that only became available at virtual time `t`.
+  void AdvanceTo(SimTime t) {
+    if (t > now_.load(std::memory_order_relaxed)) {
+      now_.store(t, std::memory_order_release);
+    }
+  }
+
+  void Reset(SimTime t = 0) { now_.store(t, std::memory_order_release); }
+
+ private:
+  std::atomic<SimTime> now_{0};
+};
+
+}  // namespace dfi
+
+#endif  // DFI_COMMON_SIM_TIME_H_

@@ -1,0 +1,52 @@
+#include "common/units.h"
+
+#include <cstdio>
+
+namespace dfi {
+namespace {
+
+std::string FormatScaled(double value, const char* const* suffixes,
+                         int num_suffixes, double step, const char* unit) {
+  int idx = 0;
+  while (value >= step && idx + 1 < num_suffixes) {
+    value /= step;
+    ++idx;
+  }
+  char buf[64];
+  if (value == static_cast<uint64_t>(value) && value < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%llu %s%s",
+                  static_cast<unsigned long long>(value), suffixes[idx], unit);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s%s", value, suffixes[idx], unit);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string FormatBytes(uint64_t bytes) {
+  static const char* const kSuffixes[] = {"", "Ki", "Mi", "Gi", "Ti"};
+  return FormatScaled(static_cast<double>(bytes), kSuffixes, 5, 1024.0, "B");
+}
+
+std::string FormatBandwidth(double bytes_per_second) {
+  static const char* const kSuffixes[] = {"", "Ki", "Mi", "Gi", "Ti"};
+  return FormatScaled(bytes_per_second, kSuffixes, 5, 1024.0, "B/s");
+}
+
+std::string FormatDuration(int64_t ns) {
+  char buf[64];
+  double v = static_cast<double>(ns);
+  if (ns < kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%.0f ns", v);
+  } else if (ns < kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", v / kMicrosecond);
+  } else if (ns < kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", v / kMillisecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", v / kSecond);
+  }
+  return buf;
+}
+
+}  // namespace dfi

@@ -1,0 +1,32 @@
+#ifndef DFI_COMMON_UNITS_H_
+#define DFI_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dfi {
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+inline constexpr int64_t kMicrosecond = 1000;          // in ns
+inline constexpr int64_t kMillisecond = 1000 * 1000;   // in ns
+inline constexpr int64_t kSecond = 1000 * 1000 * 1000;  // in ns
+
+/// Converts a link speed in gigabits per second to bytes per nanosecond
+/// (the unit LinkScheduler uses). 100 Gbps -> 12.5 B/ns.
+constexpr double GbpsToBytesPerNs(double gbps) { return gbps / 8.0; }
+
+/// Formats a byte count as a human-readable string, e.g. "8 KiB", "1.5 GiB".
+std::string FormatBytes(uint64_t bytes);
+
+/// Formats a rate in bytes/second as e.g. "11.64 GiB/s".
+std::string FormatBandwidth(double bytes_per_second);
+
+/// Formats a duration in nanoseconds as e.g. "1.31 us", "2.5 s".
+std::string FormatDuration(int64_t ns);
+
+}  // namespace dfi
+
+#endif  // DFI_COMMON_UNITS_H_

@@ -1,0 +1,378 @@
+#include "core/channel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace dfi {
+namespace {
+
+uint32_t RoundUp8(uint32_t v) { return (v + 7u) & ~7u; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ChannelShared
+// ---------------------------------------------------------------------------
+
+uint32_t ChannelShared::PayloadCapacityFor(const FlowOptions& options,
+                                           uint32_t tuple_size) {
+  if (options.optimization == FlowOptimization::kLatency) {
+    return RoundUp8(tuple_size);
+  }
+  return std::max(RoundUp8(options.segment_size), RoundUp8(tuple_size));
+}
+
+ChannelShared::ChannelShared(rdma::RdmaContext* target_ctx,
+                             const FlowOptions& options, uint32_t tuple_size,
+                             uint16_t source_index)
+    : options_(options),
+      tuple_size_(tuple_size),
+      source_index_(source_index),
+      target_node_(target_ctx->node_id()) {
+  const uint32_t capacity = PayloadCapacityFor(options, tuple_size);
+  const uint32_t num_segments = options.segments_per_ring;
+  DFI_CHECK_GT(num_segments, 1u) << "a ring needs at least 2 segments";
+  const size_t ring_bytes =
+      static_cast<size_t>(capacity + sizeof(SegmentFooter)) * num_segments;
+  ring_mr_ = target_ctx->AllocateRegion(ring_bytes);
+  ring_ = SegmentRing(ring_mr_->addr(), capacity, num_segments);
+  credit_mr_ = target_ctx->AllocateRegion(64);
+  slot_free_time_ =
+      std::make_unique<std::atomic<SimTime>[]>(num_segments);
+  for (uint32_t i = 0; i < num_segments; ++i) {
+    slot_free_time_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+uint64_t ChannelShared::LoadConsumed() const {
+  return std::atomic_ref<uint64_t>(
+             *reinterpret_cast<uint64_t*>(credit_mr_->addr()))
+      .load(std::memory_order_acquire);
+}
+
+void ChannelShared::IncrementConsumed() {
+  std::atomic_ref<uint64_t>(*reinterpret_cast<uint64_t*>(credit_mr_->addr()))
+      .fetch_add(1, std::memory_order_acq_rel);
+}
+
+// ---------------------------------------------------------------------------
+// ChannelSource
+// ---------------------------------------------------------------------------
+
+ChannelSource::ChannelSource(ChannelShared* shared,
+                             rdma::RdmaContext* source_ctx,
+                             VirtualClock* clock)
+    : shared_(shared), clock_(clock), config_(&source_ctx->config()) {
+  send_cq_ = source_ctx->CreateCq();
+  qp_ = source_ctx->CreateRcQp(shared_->target_node(), send_cq_);
+  const bool latency =
+      shared_->options().optimization == FlowOptimization::kLatency;
+  const uint32_t capacity = shared_->ring().payload_capacity();
+  const uint32_t staging_slots =
+      latency ? 1 : std::max(2u, shared_->options().source_segments);
+  const size_t staging_bytes =
+      static_cast<size_t>(capacity + sizeof(SegmentFooter)) * staging_slots;
+  staging_mr_ = source_ctx->AllocateRegion(staging_bytes);
+  staging_ = SegmentRing(staging_mr_->addr(), capacity, staging_slots);
+}
+
+ChannelSource::~ChannelSource() {
+  if (!closed_) {
+    DFI_LOG(WARNING) << "ChannelSource destroyed without Close(); the "
+                        "target will never observe end-of-flow";
+  }
+}
+
+Status ChannelSource::Push(const void* tuple, uint32_t len) {
+  if (closed_) {
+    return Status::FailedPrecondition("push on closed channel");
+  }
+  if (len != shared_->tuple_size()) {
+    return Status::InvalidArgument("tuple size mismatch: got " +
+                                   std::to_string(len) + ", schema has " +
+                                   std::to_string(shared_->tuple_size()));
+  }
+  clock_->Advance(config_->tuple_push_fixed_ns +
+                  static_cast<SimTime>(std::llround(
+                      len * config_->tuple_copy_ns_per_byte)));
+
+  if (shared_->options().optimization == FlowOptimization::kLatency) {
+    // One tuple = one segment, transmitted immediately (flow control via
+    // credits inside TransmitSegment).
+    std::memcpy(staging_.payload(0), tuple, len);
+    return TransmitSegment(staging_.payload(0), len, /*end=*/false);
+  }
+
+  // Bandwidth mode: stage into the current segment of the source ring.
+  const uint32_t capacity = staging_.payload_capacity();
+  if (fill_ + len > capacity) {
+    DFI_RETURN_IF_ERROR(Flush());
+  }
+  std::memcpy(staging_.payload(staging_slot_) + fill_, tuple, len);
+  fill_ += len;
+  if (fill_ + shared_->tuple_size() > capacity) {
+    // Eagerly transmit full segments for maximal pipelining.
+    DFI_RETURN_IF_ERROR(Flush());
+  }
+  return Status::OK();
+}
+
+Status ChannelSource::PushSegment(uint8_t* staged_slot, uint32_t fill,
+                                  bool end) {
+  if (closed_) {
+    return Status::FailedPrecondition("push on closed channel");
+  }
+  DFI_RETURN_IF_ERROR(TransmitSegment(staged_slot, fill, end));
+  if (end) closed_ = true;
+  return Status::OK();
+}
+
+Status ChannelSource::Flush() {
+  if (fill_ == 0) return Status::OK();
+  const uint8_t* payload = staging_.payload(staging_slot_);
+  const uint32_t fill = fill_;
+  staging_slot_ = (staging_slot_ + 1) % staging_.num_segments();
+  fill_ = 0;
+  return TransmitSegment(payload, fill, /*end=*/false);
+}
+
+Status ChannelSource::Close() {
+  if (closed_) return Status::OK();
+  if (shared_->options().optimization == FlowOptimization::kLatency) {
+    DFI_RETURN_IF_ERROR(
+        TransmitSegment(staging_.payload(0), 0, /*end=*/true));
+  } else {
+    const uint8_t* payload = staging_.payload(staging_slot_);
+    const uint32_t fill = fill_;
+    fill_ = 0;
+    DFI_RETURN_IF_ERROR(TransmitSegment(payload, fill, /*end=*/true));
+  }
+  closed_ = true;
+  return Status::OK();
+}
+
+void ChannelSource::EnsureRemoteWritable(uint32_t idx) {
+  const SegmentRing& ring = shared_->ring();
+  if (ring.LoadFlags(idx) == kFlagWritable) {
+    // Fast path: the pipelined footer prefetch (issued together with the
+    // previous write of this ring) already told us the slot is free.
+    return;
+  }
+  // Slow path: the remote ring is full. On hardware the source polls the
+  // footer with RDMA reads and random backoff; here the thread sleeps and
+  // the virtual cost is charged from the footer's free timestamp plus one
+  // discovering read.
+  shared_->sync().Wait(
+      [&] { return ring.LoadFlags(idx) == kFlagWritable; });
+  clock_->AdvanceTo(ring.footer(idx)->arrival_sim_time);
+  rdma::ReadDesc read;
+  read.local = scratch_footer_;
+  read.remote = shared_->ring_mr()->RefAt(ring.footer_offset(idx));
+  read.length = sizeof(SegmentFooter);
+  auto timing = qp_->PostRead(read, clock_);
+  DFI_CHECK(timing.ok()) << timing.status();
+  clock_->AdvanceTo(timing->arrival);
+  ++footer_reads_;
+}
+
+void ChannelSource::EnsureCredit() {
+  const uint32_t slots = shared_->ring().num_segments();
+  const uint64_t threshold = std::max<uint64_t>(1, slots / 4);
+  uint64_t avail = slots - (sent_tuples_ - cached_consumed_);
+  if (avail > threshold) return;
+
+  // Running low: refresh the cached copy of the remote credit counter with
+  // an RDMA read (paper section 5.3).
+  auto refresh = [&] {
+    rdma::ReadDesc read;
+    read.local = scratch_footer_;
+    read.remote = shared_->credit_ref();
+    read.length = sizeof(uint64_t);
+    auto timing = qp_->PostRead(read, clock_);
+    DFI_CHECK(timing.ok()) << timing.status();
+    cached_consumed_ = shared_->LoadConsumed();
+    clock_->AdvanceTo(timing->arrival);
+  };
+  refresh();
+  avail = slots - (sent_tuples_ - cached_consumed_);
+  while (avail == 0) {
+    const uint64_t seen = cached_consumed_;
+    shared_->sync().Wait([&] { return shared_->LoadConsumed() > seen; });
+    clock_->AdvanceTo(shared_
+                          ->slot_free_time(static_cast<uint32_t>(
+                              sent_tuples_ % slots))
+                          .load(std::memory_order_acquire));
+    refresh();
+    avail = slots - (sent_tuples_ - cached_consumed_);
+  }
+}
+
+Status ChannelSource::TransmitSegment(const uint8_t* payload, uint32_t fill,
+                                      bool end) {
+  const SegmentRing& ring = shared_->ring();
+  const bool latency =
+      shared_->options().optimization == FlowOptimization::kLatency;
+  // Sealing a batch (footer bookkeeping, fill accounting) is a bandwidth-
+  // path cost; the latency path writes a single prepared tuple slot.
+  clock_->Advance(latency ? config_->segment_seal_ns / 4
+                          : config_->segment_seal_ns);
+  const uint64_t seq = latency ? sent_tuples_ : send_seq_;
+  const uint32_t idx = static_cast<uint32_t>(seq % ring.num_segments());
+
+  if (latency) {
+    EnsureCredit();
+  } else {
+    EnsureRemoteWritable(idx);
+  }
+
+  // Selective signaling: request a completion only when the source ring
+  // wraps around (paper section 5.2); latency mode is unsignaled + inlined.
+  const bool wrap =
+      !latency &&
+      (send_seq_ % staging_.num_segments()) == staging_.num_segments() - 1;
+  if (wrap && signal_outstanding_) {
+    // Reap the completion of the *previous* wrap before overwriting more
+    // staging slots. In steady state that ack lies in the past (it was
+    // posted a full ring ago), so this does not stall the pipeline.
+    rdma::Completion c;
+    while (send_cq_->TryPoll(&c, clock_)) {
+    }
+    signal_outstanding_ = false;
+  }
+
+  // Build the footer in the staging slot right behind the payload we were
+  // given (payload always points at a staging slot base).
+  auto* footer = reinterpret_cast<SegmentFooter*>(
+      const_cast<uint8_t*>(payload) + ring.payload_capacity());
+  footer->sequence = seq;
+  footer->fill_bytes = fill;
+  footer->source_index = shared_->source_index();
+  footer->reserved = 0;
+  footer->flags = static_cast<uint8_t>(kFlagConsumable |
+                                       (end ? kFlagEndOfFlow : 0));
+
+  // A segment is "full" when no further tuple fits; it is then transmitted
+  // as a single contiguous write of the whole slot (payload + footer, the
+  // footer landing last thanks to increasing-address DMA order).
+  const bool full_slot =
+      fill + shared_->tuple_size() > ring.payload_capacity();
+  if (full_slot || latency) {
+    const uint32_t len =
+        ring.payload_capacity() + sizeof(SegmentFooter);
+    const bool inlined = latency && len <= config_->max_inline_bytes;
+    rdma::OpTiming t = qp_->PlanWrite(len, inlined, clock_);
+    footer->arrival_sim_time = t.arrival;
+    rdma::WriteDesc desc;
+    desc.local = payload;
+    desc.remote = shared_->ring_mr()->RefAt(ring.slot_offset(idx));
+    desc.length = len;
+    desc.wr_id = seq;
+    desc.signaled = wrap;
+    desc.inlined = inlined;
+    DFI_RETURN_IF_ERROR(qp_->CommitWrite(desc, t));
+  } else {
+    // Partial segment: payload write followed by a small footer write; the
+    // RC queue pair keeps them ordered, so the footer still lands last.
+    if (fill > 0) {
+      rdma::WriteDesc body;
+      body.local = payload;
+      body.remote = shared_->ring_mr()->RefAt(ring.slot_offset(idx));
+      body.length = fill;
+      body.wr_id = seq;
+      auto t = qp_->PostWrite(body, clock_);
+      DFI_CHECK(t.ok()) << t.status();
+    }
+    const bool inlined = sizeof(SegmentFooter) <= config_->max_inline_bytes;
+    rdma::OpTiming t =
+        qp_->PlanWrite(sizeof(SegmentFooter), inlined, clock_);
+    footer->arrival_sim_time = t.arrival;
+    rdma::WriteDesc fdesc;
+    fdesc.local = footer;
+    fdesc.remote = shared_->ring_mr()->RefAt(ring.footer_offset(idx));
+    fdesc.length = sizeof(SegmentFooter);
+    fdesc.wr_id = seq;
+    fdesc.signaled = wrap;
+    fdesc.inlined = inlined;
+    DFI_RETURN_IF_ERROR(qp_->CommitWrite(fdesc, t));
+  }
+
+  if (wrap) signal_outstanding_ = true;
+  shared_->sync().Notify();
+  if (RingSync* gate = shared_->target_gate(); gate != nullptr) {
+    gate->Notify();
+  }
+
+  if (latency) {
+    ++sent_tuples_;
+  } else {
+    // Pipelined prefetch of the *next* target footer (paper section 5.2):
+    // issued back-to-back with this write so the next transmit usually
+    // finds the slot state already known.
+    const uint32_t next_idx =
+        static_cast<uint32_t>((send_seq_ + 1) % ring.num_segments());
+    rdma::ReadDesc prefetch;
+    prefetch.local = scratch_footer_;
+    prefetch.remote = shared_->ring_mr()->RefAt(ring.footer_offset(next_idx));
+    prefetch.length = sizeof(SegmentFooter);
+    auto t = qp_->PostRead(prefetch, clock_);
+    DFI_CHECK(t.ok()) << t.status();
+    ++footer_reads_;
+  }
+  ++send_seq_;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// ChannelTargetCursor
+// ---------------------------------------------------------------------------
+
+ChannelTargetCursor::ChannelTargetCursor(ChannelShared* shared,
+                                         VirtualClock* clock)
+    : shared_(shared), clock_(clock) {}
+
+bool ChannelTargetCursor::TryConsume(SegmentView* view) {
+  Release();
+  if (exhausted_) return false;
+  const SegmentRing& ring = shared_->ring();
+  const uint32_t idx = static_cast<uint32_t>(
+      consume_seq_ % ring.num_segments());
+  const uint8_t flags = ring.LoadFlags(idx);
+  if ((flags & kFlagConsumable) == 0) return false;
+
+  const SegmentFooter* footer = ring.footer(idx);
+  view->payload = ring.payload(idx);
+  view->bytes = footer->fill_bytes;
+  view->sequence = footer->sequence;
+  view->source_index = footer->source_index;
+  view->end_of_flow = (flags & kFlagEndOfFlow) != 0;
+  view->arrival = footer->arrival_sim_time;
+  clock_->AdvanceTo(footer->arrival_sim_time);
+  holding_ = true;
+  return true;
+}
+
+void ChannelTargetCursor::Release() {
+  if (!holding_) return;
+  const SegmentRing& ring = shared_->ring();
+  const uint32_t idx = static_cast<uint32_t>(
+      consume_seq_ % ring.num_segments());
+  SegmentFooter* footer = ring.footer(idx);
+  const bool end = footer->end_of_flow();
+  footer->fill_bytes = 0;
+  footer->arrival_sim_time = clock_->now();
+  ring.StoreFlags(idx, kFlagWritable);
+  if (shared_->options().optimization == FlowOptimization::kLatency) {
+    shared_->slot_free_time(idx).store(clock_->now(),
+                                       std::memory_order_release);
+    shared_->IncrementConsumed();
+  }
+  shared_->sync().Notify();
+  ++consume_seq_;
+  holding_ = false;
+  if (end) exhausted_ = true;
+}
+
+}  // namespace dfi

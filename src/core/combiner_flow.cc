@@ -1,0 +1,251 @@
+#include "core/combiner_flow.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace dfi {
+namespace {
+
+/// Reads a field as double for aggregation.
+double FieldAsDouble(TupleView tuple, size_t field_index) {
+  const Schema& schema = *tuple.schema();
+  switch (schema.field(field_index).type) {
+    case DataType::kInt8:
+      return tuple.Get<int8_t>(field_index);
+    case DataType::kUInt8:
+      return tuple.Get<uint8_t>(field_index);
+    case DataType::kInt16:
+      return tuple.Get<int16_t>(field_index);
+    case DataType::kUInt16:
+      return tuple.Get<uint16_t>(field_index);
+    case DataType::kInt32:
+      return tuple.Get<int32_t>(field_index);
+    case DataType::kUInt32:
+      return tuple.Get<uint32_t>(field_index);
+    case DataType::kInt64:
+      return static_cast<double>(tuple.Get<int64_t>(field_index));
+    case DataType::kUInt64:
+      return static_cast<double>(tuple.Get<uint64_t>(field_index));
+    case DataType::kFloat:
+      return tuple.Get<float>(field_index);
+    case DataType::kDouble:
+      return tuple.Get<double>(field_index);
+    case DataType::kChar:
+      DFI_LOG(FATAL) << "cannot aggregate a kChar field";
+  }
+  return 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CombinerFlowState
+// ---------------------------------------------------------------------------
+
+CombinerFlowState::CombinerFlowState(CombinerFlowSpec spec,
+                                     rdma::RdmaEnv* env)
+    : spec_(std::move(spec)), env_(env) {
+  DFI_CHECK(!spec_.aggregates.empty())
+      << "combiner flow needs at least one aggregate";
+  auto sources = spec_.sources.Resolve(env_->fabric());
+  DFI_CHECK(sources.ok()) << sources.status();
+  source_nodes_ = std::move(sources).value();
+  auto targets = spec_.targets.Resolve(env_->fabric());
+  DFI_CHECK(targets.ok()) << targets.status();
+  target_nodes_ = std::move(targets).value();
+  // N:1 topology: all target threads on one node.
+  for (net::NodeId t : target_nodes_) {
+    DFI_CHECK_EQ(t, target_nodes_[0])
+        << "combiner flow targets must share one node (N:1)";
+  }
+
+  const uint32_t n = num_sources();
+  const uint32_t m = num_targets();
+  target_gates_ = std::make_unique<RingSync[]>(m);
+  channels_.resize(static_cast<size_t>(n) * m);
+  const uint32_t tuple_size =
+      static_cast<uint32_t>(spec_.schema.tuple_size());
+  for (uint32_t s = 0; s < n; ++s) {
+    for (uint32_t t = 0; t < m; ++t) {
+      auto channel = std::make_unique<ChannelShared>(
+          env_->context(target_nodes_[t]), spec_.options, tuple_size,
+          static_cast<uint16_t>(s));
+      channel->set_target_gate(&target_gates_[t]);
+      channels_[static_cast<size_t>(s) * m + t] = std::move(channel);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CombinerSource
+// ---------------------------------------------------------------------------
+
+CombinerSource::CombinerSource(std::shared_ptr<CombinerFlowState> state,
+                               uint32_t source_index)
+    : state_(std::move(state)), source_index_(source_index) {
+  DFI_CHECK_LT(source_index_, state_->num_sources());
+  rdma::RdmaContext* ctx =
+      state_->env()->context(state_->source_node(source_index_));
+  for (uint32_t t = 0; t < state_->num_targets(); ++t) {
+    channels_.push_back(std::make_unique<ChannelSource>(
+        state_->channel(source_index_, t), ctx, &clock_));
+  }
+}
+
+Status CombinerSource::Push(const void* tuple) {
+  const CombinerFlowSpec& spec = state_->spec();
+  uint32_t target = 0;
+  if (!spec.global_aggregate && state_->num_targets() > 1) {
+    const TupleView view(static_cast<const uint8_t*>(tuple), &spec.schema);
+    target = static_cast<uint32_t>(
+        HashU64(ReadKeyAsU64(view, spec.group_by_index)) %
+        state_->num_targets());
+  } else if (spec.global_aggregate && state_->num_targets() > 1) {
+    // Spread globally-aggregated tuples round-robin; targets hold partial
+    // aggregates that the application combines.
+    target = static_cast<uint32_t>(rr_++ % state_->num_targets());
+  }
+  return channels_[target]->Push(
+      tuple, static_cast<uint32_t>(spec.schema.tuple_size()));
+}
+
+Status CombinerSource::Flush() {
+  for (auto& ch : channels_) {
+    DFI_RETURN_IF_ERROR(ch->Flush());
+  }
+  return Status::OK();
+}
+
+Status CombinerSource::Close() {
+  for (auto& ch : channels_) {
+    DFI_RETURN_IF_ERROR(ch->Close());
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// CombinerTarget
+// ---------------------------------------------------------------------------
+
+CombinerTarget::CombinerTarget(std::shared_ptr<CombinerFlowState> state,
+                               uint32_t target_index)
+    : state_(std::move(state)),
+      target_index_(target_index),
+      config_(&state_->env()->config()) {
+  DFI_CHECK_LT(target_index_, state_->num_targets());
+  for (uint32_t s = 0; s < state_->num_sources(); ++s) {
+    cursors_.push_back(std::make_unique<ChannelTargetCursor>(
+        state_->channel(s, target_index_), &clock_));
+  }
+}
+
+void CombinerTarget::Fold(TupleView tuple) {
+  const CombinerFlowSpec& spec = state_->spec();
+  const uint64_t key = spec.global_aggregate
+                           ? 0
+                           : ReadKeyAsU64(tuple, spec.group_by_index);
+  clock_.Advance(config_->agg_update_ns);
+
+  auto [it, inserted] = groups_.try_emplace(key);
+  std::vector<double>& acc = it->second;
+  if (inserted) {
+    acc.resize(spec.aggregates.size());
+    output_keys_.push_back(key);
+    for (size_t i = 0; i < spec.aggregates.size(); ++i) {
+      switch (spec.aggregates[i].func) {
+        case AggFunc::kSum:
+        case AggFunc::kCount:
+          acc[i] = 0;
+          break;
+        case AggFunc::kMin:
+          acc[i] = std::numeric_limits<double>::infinity();
+          break;
+        case AggFunc::kMax:
+          acc[i] = -std::numeric_limits<double>::infinity();
+          break;
+      }
+    }
+  }
+  for (size_t i = 0; i < spec.aggregates.size(); ++i) {
+    const AggSpec& agg = spec.aggregates[i];
+    switch (agg.func) {
+      case AggFunc::kSum:
+        acc[i] += FieldAsDouble(tuple, agg.field_index);
+        break;
+      case AggFunc::kCount:
+        acc[i] += 1;
+        break;
+      case AggFunc::kMin:
+        acc[i] = std::min(acc[i], FieldAsDouble(tuple, agg.field_index));
+        break;
+      case AggFunc::kMax:
+        acc[i] = std::max(acc[i], FieldAsDouble(tuple, agg.field_index));
+        break;
+    }
+  }
+  ++tuples_aggregated_;
+}
+
+void CombinerTarget::Drain() {
+  const Schema& schema = state_->spec().schema;
+  const uint32_t tuple_size = static_cast<uint32_t>(schema.tuple_size());
+  const uint32_t n = static_cast<uint32_t>(cursors_.size());
+  RingSync* gate = state_->target_gate(target_index_);
+  int held = -1;
+  for (;;) {
+    const uint64_t version = gate->version();
+    // Release the segment consumed last round before scanning, so its slot
+    // recycles promptly and its cursor's exhaustion is visible below.
+    if (held >= 0) {
+      cursors_[held]->Release();
+      held = -1;
+    }
+    bool found = false;
+    for (uint32_t i = 0; i < n && !found; ++i) {
+      const uint32_t idx = (rr_index_ + i) % n;
+      if (cursors_[idx]->exhausted()) continue;
+      SegmentView view;
+      if (cursors_[idx]->TryConsume(&view)) {
+        clock_.Advance(config_->consume_segment_fixed_ns);
+        for (uint32_t off = 0; off + tuple_size <= view.bytes;
+             off += tuple_size) {
+          clock_.Advance(config_->tuple_consume_fixed_ns);
+          Fold(TupleView(view.payload + off, &schema));
+        }
+        held = static_cast<int>(idx);
+        rr_index_ = (idx + 1) % n;
+        found = true;
+      } else {
+        clock_.Advance(config_->consume_poll_ns);
+      }
+    }
+    if (found) continue;
+    // Recount exhaustion *after* the scan: a TryConsume above may have
+    // flipped a cursor to exhausted, and waiting on the gate now would
+    // sleep forever (no further notifications arrive once sources closed).
+    uint32_t exhausted = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (cursors_[i]->exhausted()) ++exhausted;
+    }
+    if (exhausted == n) break;
+    gate->WaitChanged(version);
+  }
+  if (held >= 0) cursors_[held]->Release();
+  drained_ = true;
+}
+
+ConsumeResult CombinerTarget::ConsumeAggregate(AggRow* out) {
+  if (!drained_) Drain();
+  if (output_pos_ >= output_keys_.size()) return ConsumeResult::kFlowEnd;
+  const uint64_t key = output_keys_[output_pos_++];
+  out->group_key = key;
+  out->values = groups_.at(key);
+  clock_.Advance(config_->tuple_consume_fixed_ns);
+  return ConsumeResult::kOk;
+}
+
+}  // namespace dfi

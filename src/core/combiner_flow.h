@@ -1,0 +1,149 @@
+#ifndef DFI_CORE_COMBINER_FLOW_H_
+#define DFI_CORE_COMBINER_FLOW_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/channel.h"
+#include "core/flow_options.h"
+#include "core/nodes.h"
+#include "core/routing.h"
+#include "core/schema.h"
+#include "registry/flow_registry.h"
+#include "rdma/rdma_env.h"
+
+namespace dfi {
+
+/// One aggregation to compute in a combiner flow.
+struct AggSpec {
+  AggFunc func;
+  /// Field whose values are aggregated (ignored for kCount).
+  size_t field_index = 0;
+};
+
+/// Declarative description of a combiner flow (paper section 4.2.3): N:1
+/// communication where tuples are aggregated in the target buffer using an
+/// aggregate function / group-by specification. Multiple target *threads*
+/// on the receiver node may share the work; tuples are routed to them by
+/// group key so partial aggregates are disjoint.
+struct CombinerFlowSpec {
+  std::string name;
+  DfiNodes sources;
+  /// Target threads; all endpoints must live on one node (N:1 topology).
+  DfiNodes targets;
+  Schema schema;
+  /// Group-by field. If `global_aggregate` is true it is ignored and a
+  /// single aggregate row is produced per target.
+  size_t group_by_index = 0;
+  bool global_aggregate = false;
+  std::vector<AggSpec> aggregates;
+  FlowOptions options;
+};
+
+/// Shared state of a combiner flow: the same private channel matrix as a
+/// shuffle flow plus the aggregation specification.
+class CombinerFlowState : public FlowStateBase {
+ public:
+  CombinerFlowState(CombinerFlowSpec spec, rdma::RdmaEnv* env);
+
+  const CombinerFlowSpec& spec() const { return spec_; }
+  rdma::RdmaEnv* env() { return env_; }
+  uint32_t num_sources() const {
+    return static_cast<uint32_t>(spec_.sources.size());
+  }
+  uint32_t num_targets() const {
+    return static_cast<uint32_t>(spec_.targets.size());
+  }
+  ChannelShared* channel(uint32_t source, uint32_t target) {
+    return channels_[source * num_targets() + target].get();
+  }
+  RingSync* target_gate(uint32_t target) { return &target_gates_[target]; }
+  net::NodeId source_node(uint32_t source) const {
+    return source_nodes_[source];
+  }
+
+ private:
+  const CombinerFlowSpec spec_;
+  rdma::RdmaEnv* const env_;
+  std::vector<net::NodeId> source_nodes_;
+  std::vector<net::NodeId> target_nodes_;
+  std::vector<std::unique_ptr<ChannelShared>> channels_;
+  std::unique_ptr<RingSync[]> target_gates_;
+};
+
+/// Source handle of a combiner flow: pushes tuples, routed by group key to
+/// the target thread owning that key's partition.
+class CombinerSource {
+ public:
+  CombinerSource(std::shared_ptr<CombinerFlowState> state,
+                 uint32_t source_index);
+
+  CombinerSource(const CombinerSource&) = delete;
+  CombinerSource& operator=(const CombinerSource&) = delete;
+
+  Status Push(const void* tuple);
+  Status Flush();
+  Status Close();
+
+  const Schema& schema() const { return state_->spec().schema; }
+  VirtualClock& clock() { return clock_; }
+
+ private:
+  std::shared_ptr<CombinerFlowState> state_;
+  const uint32_t source_index_;
+  VirtualClock clock_;
+  std::vector<std::unique_ptr<ChannelSource>> channels_;
+  uint64_t rr_ = 0;  // round-robin spread for global aggregates
+};
+
+/// One aggregated output row of a combiner target.
+struct AggRow {
+  uint64_t group_key = 0;
+  /// One accumulator per AggSpec, in spec order. Sums/min/max of integer
+  /// fields are exact for |value| < 2^53.
+  std::vector<double> values;
+};
+
+/// Target handle of a combiner flow: drains all sources, folding tuples
+/// into per-group accumulators, then yields the aggregate rows.
+class CombinerTarget {
+ public:
+  CombinerTarget(std::shared_ptr<CombinerFlowState> state,
+                 uint32_t target_index);
+
+  CombinerTarget(const CombinerTarget&) = delete;
+  CombinerTarget& operator=(const CombinerTarget&) = delete;
+
+  /// Blocking: next aggregate row. The first call drains the entire flow
+  /// (aggregation happens as segments arrive); returns kFlowEnd after the
+  /// last row.
+  ConsumeResult ConsumeAggregate(AggRow* out);
+
+  /// Number of input tuples folded so far.
+  uint64_t tuples_aggregated() const { return tuples_aggregated_; }
+  VirtualClock& clock() { return clock_; }
+
+ private:
+  void Fold(TupleView tuple);
+  void Drain();
+
+  std::shared_ptr<CombinerFlowState> state_;
+  const uint32_t target_index_;
+  const net::SimConfig* config_;
+  VirtualClock clock_;
+  std::vector<std::unique_ptr<ChannelTargetCursor>> cursors_;
+  uint32_t rr_index_ = 0;
+  bool drained_ = false;
+  uint64_t tuples_aggregated_ = 0;
+  std::unordered_map<uint64_t, std::vector<double>> groups_;
+  std::unordered_map<uint64_t, bool> group_seen_;  // for min/max init
+  std::vector<uint64_t> output_keys_;
+  size_t output_pos_ = 0;
+};
+
+}  // namespace dfi
+
+#endif  // DFI_CORE_COMBINER_FLOW_H_

@@ -1,0 +1,167 @@
+#include "core/dfi_runtime.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "core/combiner_flow.h"
+#include "core/replicate_flow.h"
+
+namespace dfi {
+
+DfiRuntime::DfiRuntime(net::Fabric* fabric)
+    : fabric_(fabric), rdma_(std::make_unique<rdma::RdmaEnv>(fabric)) {
+  DFI_CHECK(fabric != nullptr);
+}
+
+DfiRuntime::~DfiRuntime() = default;
+
+template <typename StateT>
+StatusOr<std::shared_ptr<StateT>> DfiRuntime::LookupState(
+    const std::string& flow_name) const {
+  DFI_ASSIGN_OR_RETURN(std::shared_ptr<FlowStateBase> base,
+                       registry_.Retrieve(flow_name));
+  auto state = std::dynamic_pointer_cast<StateT>(base);
+  if (state == nullptr) {
+    return Status::InvalidArgument("flow '" + flow_name +
+                                   "' has a different flow type");
+  }
+  return state;
+}
+
+// ---- Shuffle ---------------------------------------------------------------
+
+Status DfiRuntime::InitShuffleFlow(ShuffleFlowSpec spec) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("flow name must not be empty");
+  }
+  if (spec.sources.empty() || spec.targets.empty()) {
+    return Status::InvalidArgument("flow '" + spec.name +
+                                   "' needs at least one source and target");
+  }
+  if (spec.shuffle_key_index >= spec.schema.num_fields()) {
+    return Status::InvalidArgument("shuffle key index out of range");
+  }
+  const std::string name = spec.name;
+  auto state = std::make_shared<ShuffleFlowState>(std::move(spec),
+                                                  rdma_.get());
+  return registry_.Publish(name, std::move(state));
+}
+
+StatusOr<std::unique_ptr<ShuffleSource>> DfiRuntime::CreateShuffleSource(
+    const std::string& flow_name, uint32_t source_index) {
+  DFI_ASSIGN_OR_RETURN(std::shared_ptr<ShuffleFlowState> state,
+                       LookupState<ShuffleFlowState>(flow_name));
+  if (source_index >= state->num_sources()) {
+    return Status::OutOfRange("source index " + std::to_string(source_index));
+  }
+  return std::make_unique<ShuffleSource>(std::move(state), source_index);
+}
+
+StatusOr<std::unique_ptr<ShuffleTarget>> DfiRuntime::CreateShuffleTarget(
+    const std::string& flow_name, uint32_t target_index) {
+  DFI_ASSIGN_OR_RETURN(std::shared_ptr<ShuffleFlowState> state,
+                       LookupState<ShuffleFlowState>(flow_name));
+  if (target_index >= state->num_targets()) {
+    return Status::OutOfRange("target index " + std::to_string(target_index));
+  }
+  return std::make_unique<ShuffleTarget>(std::move(state), target_index);
+}
+
+// ---- Replicate -------------------------------------------------------------
+
+Status DfiRuntime::InitReplicateFlow(ReplicateFlowSpec spec) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("flow name must not be empty");
+  }
+  if (spec.sources.empty() || spec.targets.empty()) {
+    return Status::InvalidArgument("flow '" + spec.name +
+                                   "' needs at least one source and target");
+  }
+  if (spec.options.global_ordering && !spec.options.use_multicast) {
+    return Status::Unimplemented(
+        "global ordering requires the multicast transport");
+  }
+  const std::string name = spec.name;
+  auto state = std::make_shared<ReplicateFlowState>(std::move(spec),
+                                                    rdma_.get());
+  return registry_.Publish(name, std::move(state));
+}
+
+StatusOr<std::unique_ptr<ReplicateSource>> DfiRuntime::CreateReplicateSource(
+    const std::string& flow_name, uint32_t source_index) {
+  DFI_ASSIGN_OR_RETURN(std::shared_ptr<ReplicateFlowState> state,
+                       LookupState<ReplicateFlowState>(flow_name));
+  if (source_index >= state->num_sources()) {
+    return Status::OutOfRange("source index " + std::to_string(source_index));
+  }
+  return std::make_unique<ReplicateSource>(std::move(state), source_index);
+}
+
+StatusOr<std::unique_ptr<ReplicateTarget>> DfiRuntime::CreateReplicateTarget(
+    const std::string& flow_name, uint32_t target_index) {
+  DFI_ASSIGN_OR_RETURN(std::shared_ptr<ReplicateFlowState> state,
+                       LookupState<ReplicateFlowState>(flow_name));
+  if (target_index >= state->num_targets()) {
+    return Status::OutOfRange("target index " + std::to_string(target_index));
+  }
+  return std::make_unique<ReplicateTarget>(std::move(state), target_index);
+}
+
+// ---- Combiner --------------------------------------------------------------
+
+Status DfiRuntime::InitCombinerFlow(CombinerFlowSpec spec) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("flow name must not be empty");
+  }
+  if (spec.sources.empty() || spec.targets.empty()) {
+    return Status::InvalidArgument("flow '" + spec.name +
+                                   "' needs at least one source and target");
+  }
+  if (spec.aggregates.empty()) {
+    return Status::InvalidArgument("combiner flow needs >= 1 aggregate");
+  }
+  if (!spec.global_aggregate &&
+      spec.group_by_index >= spec.schema.num_fields()) {
+    return Status::InvalidArgument("group-by index out of range");
+  }
+  for (const AggSpec& agg : spec.aggregates) {
+    if (agg.func != AggFunc::kCount &&
+        agg.field_index >= spec.schema.num_fields()) {
+      return Status::InvalidArgument("aggregate field index out of range");
+    }
+  }
+  const std::string name = spec.name;
+  auto state = std::make_shared<CombinerFlowState>(std::move(spec),
+                                                   rdma_.get());
+  return registry_.Publish(name, std::move(state));
+}
+
+StatusOr<std::unique_ptr<CombinerSource>> DfiRuntime::CreateCombinerSource(
+    const std::string& flow_name, uint32_t source_index) {
+  DFI_ASSIGN_OR_RETURN(std::shared_ptr<CombinerFlowState> state,
+                       LookupState<CombinerFlowState>(flow_name));
+  if (source_index >= state->num_sources()) {
+    return Status::OutOfRange("source index " + std::to_string(source_index));
+  }
+  return std::make_unique<CombinerSource>(std::move(state), source_index);
+}
+
+StatusOr<std::unique_ptr<CombinerTarget>> DfiRuntime::CreateCombinerTarget(
+    const std::string& flow_name, uint32_t target_index) {
+  DFI_ASSIGN_OR_RETURN(std::shared_ptr<CombinerFlowState> state,
+                       LookupState<CombinerFlowState>(flow_name));
+  if (target_index >= state->num_targets()) {
+    return Status::OutOfRange("target index " + std::to_string(target_index));
+  }
+  return std::make_unique<CombinerTarget>(std::move(state), target_index);
+}
+
+Status DfiRuntime::RemoveFlow(const std::string& flow_name) {
+  return registry_.Remove(flow_name);
+}
+
+uint64_t DfiRuntime::RegisteredBytesOnNode(net::NodeId node) const {
+  return fabric_->node(node).registered_bytes();
+}
+
+}  // namespace dfi

@@ -1,0 +1,65 @@
+#ifndef DFI_CORE_FLOW_OPTIONS_H_
+#define DFI_CORE_FLOW_OPTIONS_H_
+
+#include <cstdint>
+
+#include "common/sim_time.h"
+#include "common/units.h"
+
+namespace dfi {
+
+/// Declarative optimization goal of a flow (paper Table 1): bandwidth
+/// optimization batches tuples into large segments; latency optimization
+/// transmits each tuple immediately with credit-based flow control.
+enum class FlowOptimization : uint8_t {
+  kBandwidth,
+  kLatency,
+};
+
+/// Aggregation functions supported by combiner flows.
+enum class AggFunc : uint8_t {
+  kSum,
+  kCount,
+  kMin,
+  kMax,
+};
+
+/// Declarative per-flow options (paper Table 1 "flow options" plus the
+/// tuning parameters of section 5).
+struct FlowOptions {
+  FlowOptimization optimization = FlowOptimization::kBandwidth;
+
+  /// Payload capacity of one bandwidth-mode segment. 8 KiB "offers a good
+  /// tradeoff between network bandwidth and time until the batch is filled"
+  /// (paper section 6.1.1).
+  uint32_t segment_size = 8 * kKiB;
+
+  /// Segments per target-side ring (default 32, paper section 6.1.4).
+  uint32_t segments_per_ring = 32;
+
+  /// Segments per source-side ring: "much fewer ... than target-side
+  /// buffers" (paper section 5.2); signaled writes only on wrap-around.
+  uint32_t source_segments = 4;
+
+  /// Replicate flows: replicate in the switch via RDMA multicast instead of
+  /// one write per target (paper section 4.2.2).
+  bool use_multicast = false;
+
+  /// Replicate flows: global ordering guarantee — all targets consume
+  /// tuples in the same order (OUM; paper sections 4.2.2 / 5.4).
+  bool global_ordering = false;
+
+  /// Ordered replicate flows: virtual-time gap-detection timeout before a
+  /// lost segment is reported / re-requested.
+  SimTime gap_timeout_ns = 50 * kMicrosecond;
+
+  /// Ordered replicate flows: if true, gaps are surfaced to the application
+  /// on consume() instead of triggering transparent retransmission — the
+  /// NOPaxos use case drives its gap-agreement protocol this way (paper
+  /// section 5.4).
+  bool app_handles_gaps = false;
+};
+
+}  // namespace dfi
+
+#endif  // DFI_CORE_FLOW_OPTIONS_H_

@@ -1,0 +1,70 @@
+#include "core/nodes.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace dfi {
+namespace {
+
+StatusOr<Endpoint> ParseOne(const std::string& spec) {
+  const size_t bar = spec.rfind('|');
+  if (bar == std::string::npos || bar == 0 || bar + 1 == spec.size()) {
+    return Status::InvalidArgument("endpoint '" + spec +
+                                   "' not of form 'address|threadId'");
+  }
+  Endpoint e;
+  e.address = spec.substr(0, bar);
+  const std::string tid = spec.substr(bar + 1);
+  for (char c : tid) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("endpoint '" + spec +
+                                     "' has non-numeric thread id");
+    }
+  }
+  e.thread_id = static_cast<uint32_t>(std::stoul(tid));
+  return e;
+}
+
+}  // namespace
+
+DfiNodes::DfiNodes(std::initializer_list<std::string> endpoints) {
+  auto parsed = Parse(std::vector<std::string>(endpoints));
+  DFI_CHECK(parsed.ok()) << parsed.status();
+  *this = std::move(parsed).value();
+}
+
+StatusOr<DfiNodes> DfiNodes::Parse(const std::vector<std::string>& endpoints) {
+  std::vector<Endpoint> out;
+  out.reserve(endpoints.size());
+  for (const std::string& spec : endpoints) {
+    DFI_ASSIGN_OR_RETURN(Endpoint e, ParseOne(spec));
+    out.push_back(std::move(e));
+  }
+  return DfiNodes(std::move(out));
+}
+
+StatusOr<std::vector<net::NodeId>> DfiNodes::Resolve(
+    const net::Fabric& fabric) const {
+  std::vector<net::NodeId> ids;
+  ids.reserve(endpoints_.size());
+  for (const Endpoint& e : endpoints_) {
+    DFI_ASSIGN_OR_RETURN(net::NodeId id, fabric.ResolveAddress(e.address));
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+DfiNodes DfiNodes::GridOf(const std::vector<std::string>& addresses,
+                          uint32_t threads_per_node) {
+  std::vector<Endpoint> out;
+  out.reserve(addresses.size() * threads_per_node);
+  for (const std::string& addr : addresses) {
+    for (uint32_t t = 0; t < threads_per_node; ++t) {
+      out.push_back(Endpoint{addr, t});
+    }
+  }
+  return DfiNodes(std::move(out));
+}
+
+}  // namespace dfi

@@ -1,0 +1,57 @@
+#ifndef DFI_CORE_NODES_H_
+#define DFI_CORE_NODES_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/fabric.h"
+
+namespace dfi {
+
+/// One flow endpoint: a specific worker thread on a specific node. DFI is
+/// thread-centric — sources and targets are threads, not processes (paper
+/// design principle (2)).
+struct Endpoint {
+  std::string address;   ///< node address, e.g. "192.168.0.1"
+  uint32_t thread_id;    ///< worker thread on that node
+};
+
+/// Endpoint list in the paper's notation:
+/// `DFI_Nodes n({"192.168.0.1|0", "192.168.0.2|1"})` — each entry is
+/// "<node-address>|<thread-id>".
+class DfiNodes {
+ public:
+  DfiNodes() = default;
+  /// Parses "addr|tid" strings; DFI_CHECKs on malformed input (use Parse()
+  /// for recoverable handling).
+  DfiNodes(std::initializer_list<std::string> endpoints);
+  explicit DfiNodes(std::vector<Endpoint> endpoints)
+      : endpoints_(std::move(endpoints)) {}
+
+  static StatusOr<DfiNodes> Parse(const std::vector<std::string>& endpoints);
+
+  size_t size() const { return endpoints_.size(); }
+  bool empty() const { return endpoints_.empty(); }
+  const Endpoint& operator[](size_t i) const { return endpoints_[i]; }
+  const std::vector<Endpoint>& endpoints() const { return endpoints_; }
+
+  void Append(const Endpoint& e) { endpoints_.push_back(e); }
+
+  /// Resolves every endpoint's address against the fabric.
+  StatusOr<std::vector<net::NodeId>> Resolve(const net::Fabric& fabric) const;
+
+  /// Builds a DfiNodes covering `threads_per_node` threads (ids 0..k-1) on
+  /// each of the given addresses — the common all-workers pattern.
+  static DfiNodes GridOf(const std::vector<std::string>& addresses,
+                         uint32_t threads_per_node);
+
+ private:
+  std::vector<Endpoint> endpoints_;
+};
+
+}  // namespace dfi
+
+#endif  // DFI_CORE_NODES_H_

@@ -1,0 +1,254 @@
+#ifndef DFI_CORE_REPLICATE_FLOW_H_
+#define DFI_CORE_REPLICATE_FLOW_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/channel.h"
+#include "core/flow_options.h"
+#include "core/nodes.h"
+#include "core/schema.h"
+#include "registry/flow_registry.h"
+#include "rdma/rdma_env.h"
+#include "rdma/ud_queue_pair.h"
+
+namespace dfi {
+
+/// Declarative description of a replicate flow (paper section 4.2.2): every
+/// tuple pushed by any source is delivered to *all* targets. Topologies 1:N
+/// and N:M. Options: bandwidth/latency, naive one-sided vs. RDMA multicast
+/// transport, and a global ordering guarantee (all targets consume the same
+/// sequence — the OUM primitive used by NOPaxos).
+struct ReplicateFlowSpec {
+  std::string name;
+  DfiNodes sources;
+  DfiNodes targets;
+  Schema schema;
+  FlowOptions options;
+};
+
+/// Shared state of a replicate flow. For the naive transport this is the
+/// same private channel matrix as a shuffle flow (one ring per
+/// source/target pair, written one-sided). For multicast it holds the
+/// switch group, per-target UD receive machinery, the shared credit state
+/// and — when globally ordered — the tuple sequencer and per-source
+/// retransmit histories.
+class ReplicateFlowState : public FlowStateBase {
+ public:
+  ReplicateFlowState(ReplicateFlowSpec spec, rdma::RdmaEnv* env);
+
+  const ReplicateFlowSpec& spec() const { return spec_; }
+  rdma::RdmaEnv* env() { return env_; }
+  uint32_t num_sources() const {
+    return static_cast<uint32_t>(spec_.sources.size());
+  }
+  uint32_t num_targets() const {
+    return static_cast<uint32_t>(spec_.targets.size());
+  }
+  bool multicast() const { return spec_.options.use_multicast; }
+  bool ordered() const { return spec_.options.global_ordering; }
+  uint32_t payload_capacity() const { return payload_capacity_; }
+  uint32_t pool_slots() const { return pool_slots_; }
+
+  // ---- Naive transport ---------------------------------------------------
+  ChannelShared* channel(uint32_t source, uint32_t target) {
+    return channels_[source * num_targets() + target].get();
+  }
+  RingSync* target_gate(uint32_t target) { return &target_gates_[target]; }
+  net::NodeId source_node(uint32_t source) const {
+    return source_nodes_[source];
+  }
+  net::NodeId target_node(uint32_t target) const {
+    return target_nodes_[target];
+  }
+
+  // ---- Multicast transport -----------------------------------------------
+  net::MulticastGroupId group() const { return group_; }
+  rdma::UdQueuePair* target_qp(uint32_t target) {
+    return target_qps_[target];
+  }
+  uint8_t* recv_slot(uint32_t target, uint32_t slot);
+  uint32_t slot_bytes() const {
+    return payload_capacity_ + sizeof(SegmentFooter);
+  }
+
+  /// Credit protocol (paper section 5.4): a message with position `p` may
+  /// only be sent once every target has consumed more than
+  /// `p - pool_slots` messages. Targets report consumption through a
+  /// back-flow counter; sources cache and refresh it with RDMA reads.
+  uint64_t AcquirePosition(rdma::RcQueuePair* seq_qp, VirtualClock* clock);
+  void WaitForCredit(uint64_t position,
+                     std::vector<rdma::RcQueuePair*>& credit_qps,
+                     VirtualClock* clock);
+  void ReportConsumed(uint32_t target, SimTime now);
+  uint64_t LoadConsumed(uint32_t target) const;
+  rdma::RemoteRef credit_ref(uint32_t target) const;
+  rdma::RemoteRef sequencer_ref() const { return sequencer_mr_->RefAt(0); }
+  net::NodeId sequencer_node() const { return target_nodes_[0]; }
+  RingSync& credit_sync() { return credit_sync_; }
+
+  /// Ordered mode: retransmit history. Sources record every sent segment
+  /// (bounded) before sending; a target that timed out on a gap pulls the
+  /// segment from here (the emulation's stand-in for the paper's
+  /// lost-segment request back-flow).
+  void RecordHistory(uint32_t source, uint64_t seq, const uint8_t* data,
+                     uint32_t len);
+  bool LookupHistory(uint64_t seq, std::vector<uint8_t>* out) const;
+
+  /// End-of-flow bookkeeping for multicast targets.
+  std::atomic<uint32_t>& ends_seen(uint32_t target) {
+    return ends_seen_[target];
+  }
+
+ private:
+  const ReplicateFlowSpec spec_;
+  rdma::RdmaEnv* const env_;
+  std::vector<net::NodeId> source_nodes_;
+  std::vector<net::NodeId> target_nodes_;
+  uint32_t payload_capacity_ = 0;
+  uint32_t pool_slots_ = 0;
+
+  // Naive transport.
+  std::vector<std::unique_ptr<ChannelShared>> channels_;
+  std::unique_ptr<RingSync[]> target_gates_;
+
+  // Multicast transport.
+  net::MulticastGroupId group_ = 0;
+  std::vector<rdma::UdQueuePair*> target_qps_;
+  std::vector<rdma::MemoryRegion*> recv_pools_;
+  std::vector<rdma::MemoryRegion*> credit_mrs_;  // one consumed counter each
+  std::unique_ptr<std::atomic<SimTime>[]> consume_time_;
+  rdma::MemoryRegion* sequencer_mr_ = nullptr;
+  std::atomic<uint64_t> unordered_positions_{0};
+  RingSync credit_sync_;
+  std::unique_ptr<std::atomic<uint32_t>[]> ends_seen_;
+
+  // Ordered mode retransmit history (per source).
+  struct History {
+    mutable std::mutex mu;
+    std::map<uint64_t, std::vector<uint8_t>> segments;
+  };
+  std::vector<std::unique_ptr<History>> histories_;
+  static constexpr size_t kHistoryDepth = 4096;
+};
+
+/// Source handle of a replicate flow.
+class ReplicateSource {
+ public:
+  ReplicateSource(std::shared_ptr<ReplicateFlowState> state,
+                  uint32_t source_index);
+
+  ReplicateSource(const ReplicateSource&) = delete;
+  ReplicateSource& operator=(const ReplicateSource&) = delete;
+
+  /// Pushes one tuple to *all* targets.
+  Status Push(const void* tuple);
+  Status Flush();
+  Status Close();
+
+  const Schema& schema() const { return state_->spec().schema; }
+  VirtualClock& clock() { return clock_; }
+
+ private:
+  Status TransmitNaive(uint32_t fill, bool end);
+  Status TransmitMulticast(uint32_t fill, bool end);
+
+  std::shared_ptr<ReplicateFlowState> state_;
+  const uint32_t source_index_;
+  VirtualClock clock_;
+
+  // Naive transport: one staged segment fanned out over per-target
+  // channels.
+  std::vector<std::unique_ptr<ChannelSource>> channels_;
+  rdma::MemoryRegion* staging_mr_ = nullptr;
+  SegmentRing staging_;
+  uint32_t staging_slot_ = 0;
+  uint32_t fill_ = 0;
+
+  // Multicast transport.
+  rdma::UdQueuePair* ud_qp_ = nullptr;
+  rdma::RcQueuePair* seq_qp_ = nullptr;  // sequencer fetch-and-add
+  std::vector<rdma::RcQueuePair*> credit_qps_;
+  uint64_t send_count_ = 0;
+  bool closed_ = false;
+};
+
+/// Target handle of a replicate flow. For ordered flows, consume returns
+/// segments in global sequence order, reordering out-of-order arrivals via
+/// a receive list / next list (paper Figure 6) and handling gaps by
+/// timeout + retransmission (or by surfacing kGap to the application when
+/// FlowOptions::app_handles_gaps is set; out->sequence then holds the
+/// missing sequence number).
+class ReplicateTarget {
+ public:
+  ReplicateTarget(std::shared_ptr<ReplicateFlowState> state,
+                  uint32_t target_index);
+
+  ReplicateTarget(const ReplicateTarget&) = delete;
+  ReplicateTarget& operator=(const ReplicateTarget&) = delete;
+
+  /// Blocking consume of the next segment (zero-copy into the receive
+  /// pool / ring). Tuples are packed in the payload as in shuffle flows.
+  ConsumeResult ConsumeSegment(SegmentView* out);
+
+  /// Blocking consume of the next single tuple.
+  ConsumeResult Consume(TupleView* out);
+
+  /// Ordered + app_handles_gaps: skip the missing sequence the last kGap
+  /// reported (the application decided it is a no-op). Reports the skipped
+  /// position as consumed so the credit window keeps moving.
+  void SkipGap();
+
+  /// Ordered + app_handles_gaps: adopt `data` as the content of the missing
+  /// sequence the last kGap reported (the application recovered it through
+  /// its own protocol, e.g. NOPaxos gap agreement).
+  void SupplyGap(const void* data, uint32_t bytes);
+
+  const Schema& schema() const { return state_->spec().schema; }
+  uint32_t target_index() const { return target_index_; }
+  VirtualClock& clock() { return clock_; }
+
+ private:
+  ConsumeResult ConsumeNaive(SegmentView* out);
+  ConsumeResult ConsumeMulticastUnordered(SegmentView* out);
+  ConsumeResult ConsumeMulticastOrdered(SegmentView* out);
+  void ReleaseHeld();
+  /// Parses the footer at the end of a received datagram slot.
+  const SegmentFooter* SlotFooter(uint32_t slot) const;
+
+  std::shared_ptr<ReplicateFlowState> state_;
+  const uint32_t target_index_;
+  const net::SimConfig* config_;
+  VirtualClock clock_;
+
+  // Naive transport.
+  std::vector<std::unique_ptr<ChannelTargetCursor>> cursors_;
+  uint32_t rr_index_ = 0;
+  int held_cursor_ = -1;
+
+  // Multicast transport.
+  int held_slot_ = -1;
+  std::vector<uint8_t> held_copy_;  // retransmitted segment storage
+  uint64_t expected_seq_ = 0;       // ordered mode
+  struct NextEntry {
+    uint32_t slot = UINT32_MAX;       // recv-pool slot, or
+    std::vector<uint8_t> copy;        // owned retransmit copy
+    SimTime arrival = 0;
+  };
+  std::map<uint64_t, NextEntry> next_list_;  // ordered mode reordering
+  uint32_t failed_polls_ = 0;
+
+  // Tuple iteration state.
+  SegmentView current_;
+  uint32_t tuple_offset_ = 0;
+};
+
+}  // namespace dfi
+
+#endif  // DFI_CORE_REPLICATE_FLOW_H_

@@ -1,0 +1,68 @@
+#ifndef DFI_CORE_RING_SYNC_H_
+#define DFI_CORE_RING_SYNC_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace dfi {
+
+/// Real-time wakeup channel between the two ends of a ring.
+///
+/// Emulation artifact (documented in DESIGN.md): on real hardware a blocked
+/// source spins, re-reading the remote footer with RDMA reads and random
+/// backoff, and a blocked target polls its local footer in main memory. In
+/// the emulation, spinning threads on an oversubscribed host would waste
+/// wall-clock time without affecting *virtual* time, so blocked threads
+/// sleep here instead and the virtual cost of the would-have-been polling
+/// is charged from footer timestamps when they wake. Performance-model
+/// behavior is unchanged; only host CPU waste is avoided.
+class RingSync {
+ public:
+  RingSync() = default;
+  RingSync(const RingSync&) = delete;
+  RingSync& operator=(const RingSync&) = delete;
+
+  /// Wakes all waiters; call after any footer state change.
+  void Notify() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++version_;
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until `pred()` is true. The predicate reads footer flags (with
+  /// acquire semantics), so it is re-evaluated after every Notify().
+  template <typename Pred>
+  void Wait(Pred pred) {
+    if (pred()) return;
+    std::unique_lock<std::mutex> lock(mu_);
+    uint64_t seen = version_;
+    while (!pred()) {
+      cv_.wait(lock, [&] { return version_ != seen; });
+      seen = version_;
+    }
+  }
+
+  /// Lost-wakeup-safe two-phase waiting: capture the version *before*
+  /// scanning state; if the scan found nothing, WaitChanged() blocks until
+  /// any Notify() issued after the capture.
+  uint64_t version() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return version_;
+  }
+  void WaitChanged(uint64_t seen) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return version_ != seen; });
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace dfi
+
+#endif  // DFI_CORE_RING_SYNC_H_

@@ -1,0 +1,72 @@
+#ifndef DFI_CORE_ROUTING_H_
+#define DFI_CORE_ROUTING_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "core/schema.h"
+
+namespace dfi {
+
+/// Application-supplied routing function for shuffle flows (paper section
+/// 4.2.1, option (2)): maps a tuple to a target index in [0, num_targets).
+/// Used e.g. to realize range partitioning or radix-hash partitioning.
+using RoutingFn = std::function<uint32_t(TupleView, uint32_t num_targets)>;
+
+/// Reads a tuple's key field as an unsigned 64-bit value regardless of the
+/// field's declared width (zero-extended).
+inline uint64_t ReadKeyAsU64(TupleView tuple, size_t field_index) {
+  const Schema& schema = *tuple.schema();
+  const size_t size = schema.field_size(field_index);
+  const uint8_t* p = tuple.FieldPtr(field_index);
+  switch (size) {
+    case 1:
+      return *p;
+    case 2: {
+      uint16_t v;
+      std::memcpy(&v, p, 2);
+      return v;
+    }
+    case 4: {
+      uint32_t v;
+      std::memcpy(&v, p, 4);
+      return v;
+    }
+    case 8: {
+      uint64_t v;
+      std::memcpy(&v, p, 8);
+      return v;
+    }
+    default:
+      // Wide (kChar) keys: hash the bytes.
+      return HashBytes(p, size);
+  }
+}
+
+/// DFI's default routing: hash of the shuffle key modulo target count
+/// (paper section 3.2, option (1)).
+inline RoutingFn KeyHashRouting(size_t key_field_index) {
+  return [key_field_index](TupleView tuple, uint32_t num_targets) {
+    return static_cast<uint32_t>(
+        HashU64(ReadKeyAsU64(tuple, key_field_index)) % num_targets);
+  };
+}
+
+/// Radix-hash partition routing over `bits` bits starting at `shift`
+/// (paper section 4.3.1 — the distributed radix join's routing function).
+inline RoutingFn RadixRouting(size_t key_field_index, uint32_t shift,
+                              uint32_t bits) {
+  return [key_field_index, shift, bits](TupleView tuple,
+                                        uint32_t num_targets) {
+    const uint32_t part =
+        RadixBits(ReadKeyAsU64(tuple, key_field_index), shift, bits);
+    DFI_DCHECK(part < num_targets);
+    return part % num_targets;
+  };
+}
+
+}  // namespace dfi
+
+#endif  // DFI_CORE_ROUTING_H_

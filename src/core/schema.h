@@ -1,0 +1,135 @@
+#ifndef DFI_CORE_SCHEMA_H_
+#define DFI_CORE_SCHEMA_H_
+
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dfi {
+
+/// DFI's tuple data types (paper section 4.1): each mirrors the size of the
+/// corresponding C++ type under the LP64 data model. kChar fields carry an
+/// application-chosen fixed length (user-defined extension point).
+enum class DataType : uint8_t {
+  kInt8,
+  kUInt8,
+  kInt16,
+  kUInt16,
+  kInt32,
+  kUInt32,
+  kInt64,
+  kUInt64,
+  kFloat,
+  kDouble,
+  kChar,  // fixed-length byte array
+};
+
+/// Size in bytes of a fixed-size type; kChar requires an explicit length.
+size_t DataTypeSize(DataType type);
+const char* DataTypeName(DataType type);
+
+/// One attribute of a DFI schema.
+struct Field {
+  std::string name;
+  DataType type;
+  /// Only used for kChar: the fixed byte length of the attribute.
+  uint32_t length = 0;
+};
+
+/// Tuple schema passed at flow initialization (paper Figure 1:
+/// `DFI_Schema schema({"key", int}, {"value", int})`).
+///
+/// Tuple types are flow parameters fixed at init time; no type
+/// interpretation happens during flow execution — attribute access is pure
+/// offset computation (paper section 4.1, design point (1)). Tuples are
+/// densely packed (no padding); all accesses go through memcpy-based
+/// getters, so alignment is irrelevant.
+class Schema {
+ public:
+  Schema() = default;
+  /// Fails on empty schemas, duplicate names and zero-length kChar fields.
+  static StatusOr<Schema> Create(std::vector<Field> fields);
+  /// DFI_CHECK-ing convenience constructor for literals in examples/tests.
+  Schema(std::initializer_list<Field> fields);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  /// Byte offset of field i within a tuple.
+  size_t offset(size_t i) const { return offsets_[i]; }
+  /// Byte size of field i.
+  size_t field_size(size_t i) const;
+  /// Total packed tuple size in bytes.
+  size_t tuple_size() const { return tuple_size_; }
+
+  /// Index of the field named `name`; NotFound otherwise.
+  StatusOr<size_t> IndexOf(const std::string& name) const;
+
+  bool operator==(const Schema& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+  std::vector<size_t> offsets_;
+  size_t tuple_size_ = 0;
+};
+
+/// Read-only view of one packed tuple described by a Schema. Cheap to copy;
+/// does not own memory.
+class TupleView {
+ public:
+  TupleView() = default;
+  TupleView(const uint8_t* data, const Schema* schema)
+      : data_(data), schema_(schema) {}
+
+  const uint8_t* data() const { return data_; }
+  const Schema* schema() const { return schema_; }
+  bool valid() const { return data_ != nullptr; }
+
+  /// Typed getter; T must match the field's width (memcpy'd, so packed
+  /// layouts are fine).
+  template <typename T>
+  T Get(size_t field_index) const {
+    T value;
+    std::memcpy(&value, data_ + schema_->offset(field_index), sizeof(T));
+    return value;
+  }
+
+  const uint8_t* FieldPtr(size_t field_index) const {
+    return data_ + schema_->offset(field_index);
+  }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  const Schema* schema_ = nullptr;
+};
+
+/// Serializes typed values into a packed tuple buffer.
+class TupleWriter {
+ public:
+  TupleWriter(uint8_t* data, const Schema* schema)
+      : data_(data), schema_(schema) {}
+
+  template <typename T>
+  TupleWriter& Set(size_t field_index, const T& value) {
+    std::memcpy(data_ + schema_->offset(field_index), &value, sizeof(T));
+    return *this;
+  }
+
+  TupleWriter& SetBytes(size_t field_index, const void* bytes, size_t len) {
+    std::memcpy(data_ + schema_->offset(field_index), bytes, len);
+    return *this;
+  }
+
+ private:
+  uint8_t* data_;
+  const Schema* schema_;
+};
+
+}  // namespace dfi
+
+#endif  // DFI_CORE_SCHEMA_H_

@@ -1,0 +1,199 @@
+#include "core/shuffle_flow.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace dfi {
+
+// ---------------------------------------------------------------------------
+// ShuffleFlowState
+// ---------------------------------------------------------------------------
+
+ShuffleFlowState::ShuffleFlowState(ShuffleFlowSpec spec, rdma::RdmaEnv* env)
+    : spec_(std::move(spec)), env_(env) {
+  auto sources = spec_.sources.Resolve(env_->fabric());
+  DFI_CHECK(sources.ok()) << sources.status();
+  source_nodes_ = std::move(sources).value();
+  auto targets = spec_.targets.Resolve(env_->fabric());
+  DFI_CHECK(targets.ok()) << targets.status();
+  target_nodes_ = std::move(targets).value();
+
+  const uint32_t n = num_sources();
+  const uint32_t m = num_targets();
+  DFI_CHECK_GT(n, 0u);
+  DFI_CHECK_GT(m, 0u);
+  target_gates_ = std::make_unique<RingSync[]>(m);
+  channels_.resize(static_cast<size_t>(n) * m);
+  const uint32_t tuple_size =
+      static_cast<uint32_t>(spec_.schema.tuple_size());
+  for (uint32_t s = 0; s < n; ++s) {
+    for (uint32_t t = 0; t < m; ++t) {
+      auto channel = std::make_unique<ChannelShared>(
+          env_->context(target_nodes_[t]), spec_.options, tuple_size,
+          static_cast<uint16_t>(s));
+      channel->set_target_gate(&target_gates_[t]);
+      channels_[static_cast<size_t>(s) * m + t] = std::move(channel);
+    }
+  }
+}
+
+uint64_t ShuffleFlowState::RingBytesOnNode(net::NodeId node) const {
+  uint64_t bytes = 0;
+  for (const auto& ch : channels_) {
+    if (ch->target_node() == node) {
+      bytes += ch->ring().total_bytes() + 64;  // ring + credit counter
+    }
+  }
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// ShuffleSource
+// ---------------------------------------------------------------------------
+
+ShuffleSource::ShuffleSource(std::shared_ptr<ShuffleFlowState> state,
+                             uint32_t source_index)
+    : state_(std::move(state)), source_index_(source_index) {
+  DFI_CHECK_LT(source_index_, state_->num_sources());
+  routing_ = state_->spec().routing
+                 ? state_->spec().routing
+                 : KeyHashRouting(state_->spec().shuffle_key_index);
+  rdma::RdmaContext* ctx =
+      state_->env()->context(state_->source_node(source_index_));
+  const uint32_t m = state_->num_targets();
+  channels_.reserve(m);
+  for (uint32_t t = 0; t < m; ++t) {
+    channels_.push_back(std::make_unique<ChannelSource>(
+        state_->channel(source_index_, t), ctx, &clock_));
+  }
+}
+
+Status ShuffleSource::Push(const void* tuple) {
+  const uint32_t target = routing_(
+      TupleView(static_cast<const uint8_t*>(tuple), &state_->spec().schema),
+      state_->num_targets());
+  if (target >= state_->num_targets()) {
+    return Status::OutOfRange("routing function returned target " +
+                              std::to_string(target) + " of " +
+                              std::to_string(state_->num_targets()));
+  }
+  return channels_[target]->Push(
+      tuple, static_cast<uint32_t>(schema().tuple_size()));
+}
+
+Status ShuffleSource::PushTo(const void* tuple, uint32_t target_index) {
+  if (target_index >= state_->num_targets()) {
+    return Status::OutOfRange("target index " +
+                              std::to_string(target_index));
+  }
+  return channels_[target_index]->Push(
+      tuple, static_cast<uint32_t>(schema().tuple_size()));
+}
+
+Status ShuffleSource::Flush() {
+  for (auto& ch : channels_) {
+    DFI_RETURN_IF_ERROR(ch->Flush());
+  }
+  return Status::OK();
+}
+
+Status ShuffleSource::Close() {
+  for (auto& ch : channels_) {
+    DFI_RETURN_IF_ERROR(ch->Close());
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// ShuffleTarget
+// ---------------------------------------------------------------------------
+
+ShuffleTarget::ShuffleTarget(std::shared_ptr<ShuffleFlowState> state,
+                             uint32_t target_index)
+    : state_(std::move(state)),
+      target_index_(target_index),
+      config_(&state_->env()->config()) {
+  DFI_CHECK_LT(target_index_, state_->num_targets());
+  const uint32_t n = state_->num_sources();
+  cursors_.reserve(n);
+  for (uint32_t s = 0; s < n; ++s) {
+    cursors_.push_back(std::make_unique<ChannelTargetCursor>(
+        state_->channel(s, target_index_), &clock_));
+  }
+}
+
+bool ShuffleTarget::TryConsumeSegment(SegmentView* out,
+                                      ConsumeResult* out_result) {
+  // Release the previously returned segment.
+  if (held_cursor_ >= 0) {
+    cursors_[held_cursor_]->Release();
+    held_cursor_ = -1;
+  }
+  const uint32_t n = static_cast<uint32_t>(cursors_.size());
+  uint32_t exhausted = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t idx = (rr_index_ + i) % n;
+    ChannelTargetCursor& cursor = *cursors_[idx];
+    if (cursor.exhausted()) {
+      ++exhausted;
+      continue;
+    }
+    SegmentView view;
+    if (cursor.TryConsume(&view)) {
+      clock_.Advance(config_->consume_segment_fixed_ns);
+      if (view.bytes == 0) {
+        // Pure end-of-flow marker: recycle silently. (End markers may also
+        // carry a final partial payload; those are surfaced normally.)
+        cursor.Release();
+        if (cursor.exhausted()) ++exhausted;
+        continue;
+      }
+      rr_index_ = (idx + 1) % n;
+      held_cursor_ = static_cast<int>(idx);
+      *out = view;
+      *out_result = ConsumeResult::kOk;
+      return true;
+    }
+    clock_.Advance(config_->consume_poll_ns);
+  }
+  if (exhausted == n) {
+    *out_result = ConsumeResult::kFlowEnd;
+    return true;  // definitive answer
+  }
+  return false;
+}
+
+ConsumeResult ShuffleTarget::ConsumeSegment(SegmentView* out) {
+  RingSync* gate = state_->target_gate(target_index_);
+  for (;;) {
+    // Capture the gate version before scanning so a delivery racing with
+    // the scan is never missed.
+    const uint64_t version = gate->version();
+    ConsumeResult result;
+    if (TryConsumeSegment(out, &result)) return result;
+    gate->WaitChanged(version);
+  }
+}
+
+ConsumeResult ShuffleTarget::Consume(TupleView* out) {
+  const uint32_t tuple_size =
+      static_cast<uint32_t>(schema().tuple_size());
+  for (;;) {
+    if (current_.payload != nullptr &&
+        tuple_offset_ + tuple_size <= current_.bytes) {
+      *out = TupleView(current_.payload + tuple_offset_, &schema());
+      tuple_offset_ += tuple_size;
+      clock_.Advance(config_->tuple_consume_fixed_ns);
+      return ConsumeResult::kOk;
+    }
+    current_ = SegmentView{};
+    tuple_offset_ = 0;
+    SegmentView view;
+    const ConsumeResult r = ConsumeSegment(&view);
+    if (r == ConsumeResult::kFlowEnd) return r;
+    current_ = view;
+  }
+}
+
+}  // namespace dfi

@@ -1,0 +1,151 @@
+#ifndef DFI_CORE_SHUFFLE_FLOW_H_
+#define DFI_CORE_SHUFFLE_FLOW_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "core/channel.h"
+#include "core/flow_options.h"
+#include "core/nodes.h"
+#include "core/routing.h"
+#include "core/schema.h"
+#include "registry/flow_registry.h"
+#include "rdma/rdma_env.h"
+
+namespace dfi {
+
+/// Declarative description of a shuffle flow (paper Figure 1 / Table 1):
+/// N source threads route tuples to M target threads, supporting 1:1, N:1,
+/// 1:N and N:M topologies.
+struct ShuffleFlowSpec {
+  std::string name;
+  DfiNodes sources;
+  DfiNodes targets;
+  Schema schema;
+  /// Field used by the default key-hash routing.
+  size_t shuffle_key_index = 0;
+  /// Optional custom partition function (overrides key routing).
+  RoutingFn routing;
+  FlowOptions options;
+};
+
+/// Shared state of one initialized shuffle flow; published in the registry.
+/// Holds the private ring buffer of every (source thread, target thread)
+/// pair plus the target gates.
+class ShuffleFlowState : public FlowStateBase {
+ public:
+  ShuffleFlowState(ShuffleFlowSpec spec, rdma::RdmaEnv* env);
+
+  const ShuffleFlowSpec& spec() const { return spec_; }
+  rdma::RdmaEnv* env() { return env_; }
+  uint32_t num_sources() const {
+    return static_cast<uint32_t>(spec_.sources.size());
+  }
+  uint32_t num_targets() const {
+    return static_cast<uint32_t>(spec_.targets.size());
+  }
+
+  ChannelShared* channel(uint32_t source, uint32_t target) {
+    return channels_[source * num_targets() + target].get();
+  }
+  RingSync* target_gate(uint32_t target) { return &target_gates_[target]; }
+  net::NodeId source_node(uint32_t source) const {
+    return source_nodes_[source];
+  }
+
+  /// Registered bytes of all rings of this flow on `node` (memory
+  /// accounting, paper section 6.1.4; excludes source-side staging which is
+  /// counted when sources are created).
+  uint64_t RingBytesOnNode(net::NodeId node) const;
+
+ private:
+  const ShuffleFlowSpec spec_;
+  rdma::RdmaEnv* const env_;
+  std::vector<net::NodeId> source_nodes_;
+  std::vector<net::NodeId> target_nodes_;
+  std::vector<std::unique_ptr<ChannelShared>> channels_;
+  std::unique_ptr<RingSync[]> target_gates_;
+};
+
+/// Source handle of a shuffle flow, bound to one worker thread. Obtained
+/// from DfiRuntime::CreateShuffleSource. Push is asynchronous and returns
+/// as soon as the tuple is staged (paper section 3.3).
+class ShuffleSource {
+ public:
+  ShuffleSource(std::shared_ptr<ShuffleFlowState> state,
+                uint32_t source_index);
+
+  ShuffleSource(const ShuffleSource&) = delete;
+  ShuffleSource& operator=(const ShuffleSource&) = delete;
+
+  /// Pushes one packed tuple, routed by the flow's key / routing function.
+  Status Push(const void* tuple);
+  Status Push(TupleView tuple) { return Push(tuple.data()); }
+
+  /// Pushes with an explicit target (paper section 4.2.1, option (3)).
+  Status PushTo(const void* tuple, uint32_t target_index);
+
+  /// Transmits all partially-filled segments.
+  Status Flush();
+
+  /// Flushes and signals end-of-flow to every target. Idempotent.
+  Status Close();
+
+  const Schema& schema() const { return state_->spec().schema; }
+  uint32_t source_index() const { return source_index_; }
+  VirtualClock& clock() { return clock_; }
+
+ private:
+  std::shared_ptr<ShuffleFlowState> state_;
+  const uint32_t source_index_;
+  RoutingFn routing_;
+  VirtualClock clock_;
+  std::vector<std::unique_ptr<ChannelSource>> channels_;  // one per target
+};
+
+/// Target handle of a shuffle flow, bound to one worker thread. Consumes
+/// tuples (or whole segments, zero-copy) from its private rings, scanning
+/// them round-robin (paper Figure 4: nextRing()).
+class ShuffleTarget {
+ public:
+  ShuffleTarget(std::shared_ptr<ShuffleFlowState> state,
+                uint32_t target_index);
+
+  ShuffleTarget(const ShuffleTarget&) = delete;
+  ShuffleTarget& operator=(const ShuffleTarget&) = delete;
+
+  /// Blocking: next tuple out of the flow. Returns kFlowEnd once every
+  /// source has closed and all segments are drained.
+  ConsumeResult Consume(TupleView* out);
+
+  /// Blocking: next whole segment, zero-copy. The view is valid until the
+  /// next ConsumeSegment/Consume call.
+  ConsumeResult ConsumeSegment(SegmentView* out);
+
+  /// Non-blocking variant; returns false if nothing is currently
+  /// consumable (out_result distinguishes empty from flow end).
+  bool TryConsumeSegment(SegmentView* out, ConsumeResult* out_result);
+
+  const Schema& schema() const { return state_->spec().schema; }
+  uint32_t target_index() const { return target_index_; }
+  VirtualClock& clock() { return clock_; }
+
+ private:
+  std::shared_ptr<ShuffleFlowState> state_;
+  const uint32_t target_index_;
+  const net::SimConfig* config_;
+  VirtualClock clock_;
+  std::vector<std::unique_ptr<ChannelTargetCursor>> cursors_;  // per source
+  uint32_t rr_index_ = 0;
+  int held_cursor_ = -1;  // cursor whose segment `current_` views
+  SegmentView current_;
+  uint32_t tuple_offset_ = 0;  // iteration state within current_
+};
+
+}  // namespace dfi
+
+#endif  // DFI_CORE_SHUFFLE_FLOW_H_

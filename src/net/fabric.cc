@@ -1,0 +1,118 @@
+#include "net/fabric.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace dfi::net {
+
+Node::Node(NodeId id, std::string address, const SimConfig& config)
+    : id_(id),
+      address_(std::move(address)),
+      egress_("egress:" + address_, config.LinkBytesPerNs()),
+      ingress_("ingress:" + address_, config.LinkBytesPerNs()) {}
+
+Switch::Switch(const SimConfig& config)
+    : config_(config), loss_rng_(config.loss_seed) {}
+
+MulticastGroupId Switch::CreateGroup() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const MulticastGroupId id = static_cast<MulticastGroupId>(groups_.size());
+  Group g;
+  g.resource = std::make_unique<LinkScheduler>(
+      "mcgroup:" + std::to_string(id), config_.MulticastGroupBytesPerNs());
+  groups_.push_back(std::move(g));
+  return id;
+}
+
+Status Switch::JoinGroup(MulticastGroupId group, NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (group >= groups_.size()) {
+    return Status::NotFound("multicast group " + std::to_string(group));
+  }
+  for (NodeId m : groups_[group].members) {
+    if (m == node) return Status::OK();  // idempotent join
+  }
+  groups_[group].members.push_back(node);
+  return Status::OK();
+}
+
+std::vector<NodeId> Switch::GroupMembers(MulticastGroupId group) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DFI_CHECK_LT(group, groups_.size());
+  return groups_[group].members;
+}
+
+TransferWindow Switch::ReserveGroup(MulticastGroupId group, SimTime ready,
+                                    uint64_t bytes) {
+  LinkScheduler* resource;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DFI_CHECK_LT(group, groups_.size());
+    resource = groups_[group].resource.get();
+  }
+  return resource->Reserve(ready, bytes);
+}
+
+bool Switch::ShouldDrop() {
+  if (config_.multicast_loss_probability <= 0.0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return loss_rng_.NextBool(config_.multicast_loss_probability);
+}
+
+size_t Switch::group_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return groups_.size();
+}
+
+Fabric::Fabric(SimConfig config) : config_(config), switch_(config_) {}
+
+StatusOr<NodeId> Fabric::AddNode(const std::string& address) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (by_address_.count(address) != 0) {
+    return Status::AlreadyExists("node address " + address);
+  }
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(id, address, config_));
+  by_address_[address] = id;
+  return id;
+}
+
+std::vector<NodeId> Fabric::AddNodes(size_t n) {
+  std::vector<NodeId> ids;
+  ids.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto id = AddNode("10.0.0." + std::to_string(node_count() + 1));
+    DFI_CHECK(id.ok()) << id.status();
+    ids.push_back(*id);
+  }
+  return ids;
+}
+
+Node& Fabric::node(NodeId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DFI_CHECK_LT(id, nodes_.size());
+  return *nodes_[id];
+}
+
+const Node& Fabric::node(NodeId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DFI_CHECK_LT(id, nodes_.size());
+  return *nodes_[id];
+}
+
+StatusOr<NodeId> Fabric::ResolveAddress(const std::string& address) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_address_.find(address);
+  if (it == by_address_.end()) {
+    return Status::NotFound("node address " + address);
+  }
+  return it->second;
+}
+
+size_t Fabric::node_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return nodes_.size();
+}
+
+}  // namespace dfi::net

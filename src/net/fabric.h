@@ -1,0 +1,122 @@
+#ifndef DFI_NET_FABRIC_H_
+#define DFI_NET_FABRIC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "net/link.h"
+#include "net/sim_config.h"
+
+namespace dfi::net {
+
+/// Identifies one emulated cluster node.
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+
+/// Identifies one multicast group on the switch.
+using MulticastGroupId = uint32_t;
+
+/// One emulated cluster node: a host with one NIC. Both link directions are
+/// modeled (full duplex), matching one InfiniBand EDR port.
+class Node {
+ public:
+  Node(NodeId id, std::string address, const SimConfig& config);
+
+  NodeId id() const { return id_; }
+  const std::string& address() const { return address_; }
+
+  /// Link from this node's NIC into the switch.
+  LinkScheduler& egress() { return egress_; }
+  /// Link from the switch into this node's NIC.
+  LinkScheduler& ingress() { return ingress_; }
+
+  /// Registered-memory accounting (paper section 6.1.4).
+  void AddRegisteredBytes(uint64_t bytes) { registered_bytes_ += bytes; }
+  void SubRegisteredBytes(uint64_t bytes) { registered_bytes_ -= bytes; }
+  uint64_t registered_bytes() const { return registered_bytes_.load(); }
+
+ private:
+  const NodeId id_;
+  const std::string address_;
+  LinkScheduler egress_;
+  LinkScheduler ingress_;
+  std::atomic<uint64_t> registered_bytes_{0};
+};
+
+/// The single switch connecting all nodes. Hosts multicast groups: each
+/// group is a serial resource (paper: multiple sender threads within one
+/// group do not scale) that replicates a message to all member ingress
+/// links. Can inject per-delivery losses for UD traffic.
+class Switch {
+ public:
+  explicit Switch(const SimConfig& config);
+
+  MulticastGroupId CreateGroup();
+  Status JoinGroup(MulticastGroupId group, NodeId node);
+  std::vector<NodeId> GroupMembers(MulticastGroupId group) const;
+
+  /// Serializes a multicast message on the group resource.
+  TransferWindow ReserveGroup(MulticastGroupId group, SimTime ready,
+                              uint64_t bytes);
+
+  /// Decides whether the delivery of one multicast message to one target is
+  /// dropped (loss injection; deterministic for a given config seed).
+  bool ShouldDrop();
+
+  size_t group_count() const;
+
+ private:
+  struct Group {
+    std::unique_ptr<LinkScheduler> resource;
+    std::vector<NodeId> members;
+  };
+
+  const SimConfig& config_;
+  mutable std::mutex mu_;
+  std::vector<Group> groups_;
+  Xorshift128Plus loss_rng_;
+};
+
+/// The emulated cluster: node directory + switch + configuration. One
+/// Fabric instance is one experiment environment; all DFI / verbs / MPI
+/// objects hang off it.
+class Fabric {
+ public:
+  explicit Fabric(SimConfig config = SimConfig());
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Adds a node with a unique address (e.g. "192.168.0.1"). Addresses are
+  /// free-form strings; DFI's "ip|threadId" notation resolves against them.
+  StatusOr<NodeId> AddNode(const std::string& address);
+
+  /// Convenience: adds `n` nodes named "10.0.0.<i>".
+  std::vector<NodeId> AddNodes(size_t n);
+
+  Node& node(NodeId id);
+  const Node& node(NodeId id) const;
+  StatusOr<NodeId> ResolveAddress(const std::string& address) const;
+  size_t node_count() const;
+
+  Switch& network_switch() { return switch_; }
+  const SimConfig& config() const { return config_; }
+
+ private:
+  const SimConfig config_;
+  Switch switch_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unordered_map<std::string, NodeId> by_address_;
+};
+
+}  // namespace dfi::net
+
+#endif  // DFI_NET_FABRIC_H_

@@ -1,0 +1,65 @@
+#include "net/link.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace dfi::net {
+
+LinkScheduler::LinkScheduler(std::string name, double bytes_per_ns)
+    : name_(std::move(name)),
+      ns_per_byte_(1.0 / bytes_per_ns),
+      bytes_per_ns_(bytes_per_ns) {
+  DFI_CHECK_GT(bytes_per_ns, 0.0);
+}
+
+TransferWindow LinkScheduler::Reserve(SimTime ready, uint64_t bytes) {
+  const SimTime duration = static_cast<SimTime>(
+      std::llround(static_cast<double>(bytes) * ns_per_byte_));
+  std::lock_guard<std::mutex> lock(mu_);
+  busy_time_ += duration;
+  total_bytes_ += bytes;
+
+  // First-fit backfill: use the earliest idle gap that fits.
+  for (auto it = gaps_.begin(); it != gaps_.end(); ++it) {
+    const SimTime gap_start = it->first;
+    const SimTime gap_end = it->second;
+    if (gap_end <= ready) continue;  // entirely before readiness
+    const SimTime start = std::max(ready, gap_start);
+    if (start + duration > gap_end) continue;  // does not fit
+    const SimTime end = start + duration;
+    gaps_.erase(it);
+    if (start > gap_start) gaps_.emplace(gap_start, start);
+    if (end < gap_end) gaps_.emplace(end, gap_end);
+    return {start, end};
+  }
+
+  // Append at the tail, remembering any idle gap created before it.
+  const SimTime start = std::max(ready, busy_until_);
+  const SimTime end = start + duration;
+  if (start > busy_until_) {
+    gaps_.emplace(busy_until_, start);
+    if (gaps_.size() > kMaxGaps) gaps_.erase(gaps_.begin());
+  }
+  busy_until_ = end;
+  return {start, end};
+}
+
+SimTime LinkScheduler::busy_until() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return busy_until_;
+}
+
+uint64_t LinkScheduler::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_;
+}
+
+SimTime LinkScheduler::busy_time() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return busy_time_;
+}
+
+}  // namespace dfi::net

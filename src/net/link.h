@@ -1,0 +1,75 @@
+#ifndef DFI_NET_LINK_H_
+#define DFI_NET_LINK_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/sim_time.h"
+
+namespace dfi::net {
+
+/// Time window a transmission occupies on a serial resource.
+struct TransferWindow {
+  SimTime start = 0;
+  SimTime end = 0;
+};
+
+/// A serial transmission resource in virtual time: a NIC link direction, a
+/// multicast group, or any other bandwidth-limited pipe. A transmission of
+/// `bytes` ready at virtual time `ready` occupies the earliest idle
+/// interval that fits (first-fit with gap backfill):
+///
+///   start >= ready,  end = start + bytes * ns_per_byte
+///
+/// Back-to-back reservations model a saturated link; competing
+/// reservations from many threads share the link by *virtual* readiness
+/// rather than by real-time call order, which keeps results insensitive to
+/// host thread scheduling. Incast and fan-out bottlenecks emerge from
+/// reserving the corresponding ingress / egress schedulers (DESIGN.md §5).
+///
+/// Thread-safe; called concurrently by all worker threads.
+class LinkScheduler {
+ public:
+  /// `bytes_per_ns`: capacity (e.g. 12.5 for a 100 Gbps link).
+  LinkScheduler(std::string name, double bytes_per_ns);
+
+  LinkScheduler(const LinkScheduler&) = delete;
+  LinkScheduler& operator=(const LinkScheduler&) = delete;
+
+  /// Reserves a transmission of `bytes` that may start no earlier than
+  /// `ready` (virtual ns). Returns the occupied window.
+  TransferWindow Reserve(SimTime ready, uint64_t bytes);
+
+  /// Virtual time at which the link becomes idle given current reservations.
+  SimTime busy_until() const;
+
+  /// Total bytes ever reserved (conservation-law checks in tests).
+  uint64_t total_bytes() const;
+
+  /// Total virtual time the link was actually occupied (busy time), which
+  /// can be less than busy_until() if there were idle gaps.
+  SimTime busy_time() const;
+
+  const std::string& name() const { return name_; }
+  double bytes_per_ns() const { return bytes_per_ns_; }
+
+ private:
+  const std::string name_;
+  const double ns_per_byte_;
+  const double bytes_per_ns_;
+
+  mutable std::mutex mu_;
+  SimTime busy_until_ = 0;
+  SimTime busy_time_ = 0;
+  uint64_t total_bytes_ = 0;
+  /// Idle intervals (start -> end) left behind by out-of-order
+  /// reservations, available for backfill. Bounded (oldest dropped).
+  std::map<SimTime, SimTime> gaps_;
+  static constexpr size_t kMaxGaps = 128;
+};
+
+}  // namespace dfi::net
+
+#endif  // DFI_NET_LINK_H_

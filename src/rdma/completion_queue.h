@@ -1,0 +1,57 @@
+#ifndef DFI_RDMA_COMPLETION_QUEUE_H_
+#define DFI_RDMA_COMPLETION_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "common/sim_time.h"
+#include "rdma/verbs_types.h"
+
+namespace dfi::rdma {
+
+/// Emulated completion queue. Completions are pushed by the emulated NIC
+/// (synchronously at post time, stamped with their virtual completion time)
+/// and polled by application threads.
+///
+/// Polling charges SimConfig::poll_cq_ns to the caller's virtual clock and
+/// joins the clock with the completion's virtual timestamp, which models
+/// the real-world behavior that a completion can only be observed after it
+/// happened.
+class CompletionQueue {
+ public:
+  explicit CompletionQueue(SimTime poll_cost_ns)
+      : poll_cost_ns_(poll_cost_ns) {}
+
+  CompletionQueue(const CompletionQueue&) = delete;
+  CompletionQueue& operator=(const CompletionQueue&) = delete;
+
+  /// Emulated-NIC side: enqueue a completion.
+  void Push(const Completion& c);
+
+  /// Non-blocking poll. Returns false if the queue is empty. On success the
+  /// caller's clock advances by the poll cost and to at least `c->time`.
+  bool TryPoll(Completion* c, VirtualClock* clock);
+
+  /// Blocking poll: waits (real time) until a completion is available.
+  void PollBlocking(Completion* c, VirtualClock* clock);
+
+  /// Blocking poll with a real-time deadline; returns false on timeout.
+  bool PollFor(Completion* c, VirtualClock* clock,
+               std::chrono::milliseconds timeout);
+
+  size_t size() const;
+
+ private:
+  bool PopLocked(Completion* c, VirtualClock* clock);
+
+  const SimTime poll_cost_ns_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Completion> queue_;
+};
+
+}  // namespace dfi::rdma
+
+#endif  // DFI_RDMA_COMPLETION_QUEUE_H_

@@ -1,0 +1,21 @@
+#include "rdma/memory_region.h"
+
+#include <utility>
+
+namespace dfi::rdma {
+
+MemoryRegion::MemoryRegion(uint8_t* addr, size_t length, uint32_t rkey,
+                           net::NodeId node, std::unique_ptr<uint8_t[]> owned,
+                           net::Node* accounting)
+    : addr_(addr),
+      length_(length),
+      rkey_(rkey),
+      node_(node),
+      owned_(std::move(owned)),
+      accounting_(accounting) {
+  accounting_->AddRegisteredBytes(length_);
+}
+
+MemoryRegion::~MemoryRegion() { accounting_->SubRegisteredBytes(length_); }
+
+}  // namespace dfi::rdma

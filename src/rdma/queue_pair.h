@@ -1,0 +1,79 @@
+#ifndef DFI_RDMA_QUEUE_PAIR_H_
+#define DFI_RDMA_QUEUE_PAIR_H_
+
+#include <cstdint>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "rdma/completion_queue.h"
+#include "rdma/verbs_types.h"
+
+namespace dfi::rdma {
+
+class RdmaEnv;
+
+/// Emulated reliable-connection queue pair: one-sided WRITE / READ /
+/// FETCH_ADD between two fixed nodes.
+///
+/// All verbs are asynchronous from the caller's perspective: posting
+/// charges only the post cost to the caller's virtual clock; the returned
+/// OpTiming carries the virtual arrival/ack milestones computed from the
+/// link schedulers. Data movement is performed eagerly (real memcpy with
+/// DMA ordering semantics, see dma_memory.h) so the memory contents are
+/// always consistent with "the write happened".
+///
+/// PlanWrite/CommitWrite split one write into timing computation and
+/// execution so the payload may embed its own arrival timestamp (DFI's
+/// segment footers do this).
+class RcQueuePair {
+ public:
+  RcQueuePair(RdmaEnv* env, net::NodeId local, net::NodeId remote,
+              CompletionQueue* send_cq);
+
+  RcQueuePair(const RcQueuePair&) = delete;
+  RcQueuePair& operator=(const RcQueuePair&) = delete;
+
+  net::NodeId local_node() const { return local_; }
+  net::NodeId remote_node() const { return remote_; }
+
+  /// Computes the virtual-time milestones of a write of `length` bytes
+  /// posted now, reserving link capacity. Charges the post cost (plus the
+  /// inline copy cost if `inlined`).
+  OpTiming PlanWrite(uint32_t length, bool inlined, VirtualClock* clock);
+
+  /// Executes a previously planned write: moves the bytes and, if
+  /// requested, pushes a completion stamped with `timing.ack`.
+  Status CommitWrite(const WriteDesc& desc, const OpTiming& timing);
+
+  /// PlanWrite + CommitWrite in one step.
+  StatusOr<OpTiming> PostWrite(const WriteDesc& desc, VirtualClock* clock);
+
+  /// One-sided read, local <- remote. The copy is performed eagerly; the
+  /// timing says when the data is virtually available.
+  StatusOr<OpTiming> PostRead(const ReadDesc& desc, VirtualClock* clock);
+
+  /// Blocking remote fetch-and-add on a uint64 at `remote` (the DFI tuple
+  /// sequencer uses this). Advances the caller's clock to the response
+  /// arrival and returns the previous value.
+  StatusOr<uint64_t> FetchAdd(const RemoteRef& remote, uint64_t add,
+                              VirtualClock* clock);
+
+  uint64_t writes_posted() const { return writes_posted_; }
+  uint64_t reads_posted() const { return reads_posted_; }
+
+ private:
+  /// Virtual round-trip of a small request with a `response_bytes` payload
+  /// coming back. Shared by READ and FETCH_ADD.
+  OpTiming PlanRoundTrip(uint32_t response_bytes, VirtualClock* clock);
+
+  RdmaEnv* const env_;
+  const net::NodeId local_;
+  const net::NodeId remote_;
+  CompletionQueue* const send_cq_;
+  uint64_t writes_posted_ = 0;
+  uint64_t reads_posted_ = 0;
+};
+
+}  // namespace dfi::rdma
+
+#endif  // DFI_RDMA_QUEUE_PAIR_H_

@@ -1,0 +1,75 @@
+#ifndef DFI_RDMA_VERBS_TYPES_H_
+#define DFI_RDMA_VERBS_TYPES_H_
+
+#include <cstdint>
+
+#include "common/sim_time.h"
+#include "net/fabric.h"
+
+namespace dfi::rdma {
+
+/// Remote memory address: rkey identifies a registered MemoryRegion in the
+/// fabric-wide directory, offset is relative to the region base.
+struct RemoteRef {
+  uint32_t rkey = 0;
+  uint64_t offset = 0;
+};
+
+/// Kind of completed work request.
+enum class WorkType : uint8_t {
+  kWrite,
+  kRead,
+  kFetchAdd,
+  kSend,
+  kRecv,
+};
+
+/// One completion-queue entry.
+struct Completion {
+  uint64_t wr_id = 0;
+  WorkType type = WorkType::kWrite;
+  /// Virtual time at which the operation completed (for a write: remote
+  /// placement acknowledged; for a recv: message arrival).
+  SimTime time = 0;
+  uint32_t byte_len = 0;
+  bool success = true;
+  /// Source node of a received datagram (UD only).
+  net::NodeId src_node = net::kInvalidNode;
+};
+
+/// One-sided RDMA write work request.
+struct WriteDesc {
+  const void* local = nullptr;
+  RemoteRef remote;
+  uint32_t length = 0;
+  uint64_t wr_id = 0;
+  /// Request a completion entry (selective signaling: DFI signals only on
+  /// source-ring wrap-around).
+  bool signaled = false;
+  /// Payload copied into the WQE; allowed up to SimConfig::max_inline_bytes.
+  bool inlined = false;
+};
+
+/// One-sided RDMA read work request (local <- remote).
+struct ReadDesc {
+  void* local = nullptr;
+  RemoteRef remote;
+  uint32_t length = 0;
+  uint64_t wr_id = 0;
+  bool signaled = false;
+};
+
+/// Virtual-time milestones of a posted operation.
+struct OpTiming {
+  /// Calling thread's clock right after posting (the verb is asynchronous;
+  /// this is all the CPU pays).
+  SimTime post_done = 0;
+  /// Data fully placed in remote (write) or local (read) memory.
+  SimTime arrival = 0;
+  /// Acknowledgement seen by the initiator NIC (completion timestamp).
+  SimTime ack = 0;
+};
+
+}  // namespace dfi::rdma
+
+#endif  // DFI_RDMA_VERBS_TYPES_H_

@@ -1,0 +1,53 @@
+#include "registry/flow_registry.h"
+
+#include <utility>
+
+namespace dfi {
+
+Status FlowRegistry::Publish(const std::string& name,
+                             std::shared_ptr<FlowStateBase> state) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (flows_.count(name) != 0) {
+      return Status::AlreadyExists("flow '" + name + "'");
+    }
+    flows_.emplace(name, std::move(state));
+  }
+  cv_.notify_all();
+  return Status::OK();
+}
+
+StatusOr<std::shared_ptr<FlowStateBase>> FlowRegistry::Retrieve(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = flows_.find(name);
+  if (it == flows_.end()) {
+    return Status::NotFound("flow '" + name + "'");
+  }
+  return it->second;
+}
+
+StatusOr<std::shared_ptr<FlowStateBase>> FlowRegistry::RetrieveBlocking(
+    const std::string& name, std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!cv_.wait_for(lock, timeout,
+                    [&] { return flows_.count(name) != 0; })) {
+    return Status::Unavailable("flow '" + name + "' not published in time");
+  }
+  return flows_.at(name);
+}
+
+Status FlowRegistry::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (flows_.erase(name) == 0) {
+    return Status::NotFound("flow '" + name + "'");
+  }
+  return Status::OK();
+}
+
+size_t FlowRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flows_.size();
+}
+
+}  // namespace dfi

@@ -1,0 +1,66 @@
+#ifndef DFI_REGISTRY_FLOW_REGISTRY_H_
+#define DFI_REGISTRY_FLOW_REGISTRY_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace dfi {
+
+/// Opaque base for per-flow state published in the registry. The core
+/// library derives its flow-state objects from this.
+class FlowStateBase {
+ public:
+  virtual ~FlowStateBase() = default;
+};
+
+/// Central flow-metadata registry (the paper's "central registry, e.g. a
+/// master node": flow metadata is published on initialization and retrieved
+/// by sources/targets before use).
+///
+/// In a distributed deployment the published metadata would be QP numbers,
+/// rkeys and buffer addresses exchanged over the wire; in this in-process
+/// emulation it is the flow-state object itself. The API shape (publish /
+/// retrieve by unique flow name, blocking retrieve for races between
+/// initializer and users) matches the paper's model.
+class FlowRegistry {
+ public:
+  FlowRegistry() = default;
+
+  FlowRegistry(const FlowRegistry&) = delete;
+  FlowRegistry& operator=(const FlowRegistry&) = delete;
+
+  /// Publishes a flow. Fails with AlreadyExists on duplicate names.
+  Status Publish(const std::string& name,
+                 std::shared_ptr<FlowStateBase> state);
+
+  /// Retrieves a flow's state; NotFound if absent.
+  StatusOr<std::shared_ptr<FlowStateBase>> Retrieve(
+      const std::string& name) const;
+
+  /// Blocking retrieve: waits until the flow is published (or the timeout
+  /// expires).
+  StatusOr<std::shared_ptr<FlowStateBase>> RetrieveBlocking(
+      const std::string& name,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(10000))
+      const;
+
+  /// Removes a flow from the registry.
+  Status Remove(const std::string& name);
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::unordered_map<std::string, std::shared_ptr<FlowStateBase>> flows_;
+};
+
+}  // namespace dfi
+
+#endif  // DFI_REGISTRY_FLOW_REGISTRY_H_

@@ -1,0 +1,54 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dfi {
+namespace {
+
+TEST(HashTest, Deterministic) {
+  EXPECT_EQ(HashU64(42), HashU64(42));
+  EXPECT_NE(HashU64(42), HashU64(43));
+}
+
+TEST(HashTest, SpreadsSequentialKeys) {
+  // Sequential keys must land in different mod-8 buckets reasonably evenly.
+  int counts[8] = {};
+  for (uint64_t k = 0; k < 8000; ++k) {
+    ++counts[HashU64(k) % 8];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, 1000, 150);
+  }
+}
+
+TEST(HashTest, BytesHashDependsOnContent) {
+  const char a[] = "hello";
+  const char b[] = "hellp";
+  EXPECT_NE(HashBytes(a, 5), HashBytes(b, 5));
+  EXPECT_EQ(HashBytes(a, 5), HashBytes("hello", 5));
+}
+
+TEST(HashTest, RadixBitsExtractsRequestedWidth) {
+  for (uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_LT(RadixBits(k, 0, 4), 16u);
+    EXPECT_LT(RadixBits(k, 7, 3), 8u);
+  }
+}
+
+TEST(HashTest, RadixBitsPartitionsAreStable) {
+  EXPECT_EQ(RadixBits(99, 0, 6), RadixBits(99, 0, 6));
+}
+
+TEST(HashTest, RadixDifferentShiftsIndependent) {
+  // Same key, different shift windows should not always agree.
+  int agree = 0;
+  for (uint64_t k = 0; k < 256; ++k) {
+    if (RadixBits(k, 0, 4) == RadixBits(k, 4, 4)) ++agree;
+  }
+  EXPECT_LT(agree, 64);
+}
+
+}  // namespace
+}  // namespace dfi

@@ -1,0 +1,80 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dfi {
+namespace {
+
+TEST(XorshiftTest, DeterministicForSeed) {
+  Xorshift128Plus a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(XorshiftTest, DifferentSeedsDiffer) {
+  Xorshift128Plus a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(XorshiftTest, NextBelowInRange) {
+  Xorshift128Plus rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(XorshiftTest, NextDoubleInUnitInterval) {
+  Xorshift128Plus rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(XorshiftTest, NextBoolFrequency) {
+  Xorshift128Plus rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.NextBool(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits, 2500, 250);
+}
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  ZipfGenerator zipf(10, 0.0, 3);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[zipf.Next()];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, 1000, 200);
+  }
+}
+
+TEST(ZipfTest, SkewPrefersLowKeys) {
+  ZipfGenerator zipf(1000, 0.99, 5);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[zipf.Next()];
+  }
+  // Key 0 must be far more frequent than the tail.
+  EXPECT_GT(counts[0], 20 * (counts[500] + 1));
+}
+
+TEST(ZipfTest, ValuesInRange) {
+  ZipfGenerator zipf(37, 0.5, 8);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(zipf.Next(), 37u);
+  }
+}
+
+}  // namespace
+}  // namespace dfi

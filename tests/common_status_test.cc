@@ -1,0 +1,85 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace dfi {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("flow 'x'");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "flow 'x'");
+  EXPECT_EQ(s.ToString(), "NotFound: flow 'x'");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::InvalidArgument("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::ResourceExhausted("").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Unavailable("").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("").code(), StatusCode::kUnimplemented);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::Internal("boom");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> p = std::move(v).value();
+  EXPECT_EQ(*p, 7);
+}
+
+Status Fails() { return Status::OutOfRange("nope"); }
+Status Propagates() {
+  DFI_RETURN_IF_ERROR(Fails());
+  return Status::OK();
+}
+StatusOr<int> Gives(int x) { return x; }
+Status UsesAssign(int* out) {
+  DFI_ASSIGN_OR_RETURN(*out, Gives(5));
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, ReturnIfError) {
+  EXPECT_EQ(Propagates().code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusMacrosTest, AssignOrReturn) {
+  int out = 0;
+  ASSERT_TRUE(UsesAssign(&out).ok());
+  EXPECT_EQ(out, 5);
+}
+
+}  // namespace
+}  // namespace dfi

@@ -1,0 +1,37 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace dfi {
+namespace {
+
+TEST(UnitsTest, Constants) {
+  EXPECT_EQ(kKiB, 1024u);
+  EXPECT_EQ(kMiB, 1024u * 1024u);
+  EXPECT_EQ(kGiB, 1024u * 1024u * 1024u);
+}
+
+TEST(UnitsTest, GbpsToBytesPerNs) {
+  EXPECT_DOUBLE_EQ(GbpsToBytesPerNs(100.0), 12.5);
+  EXPECT_DOUBLE_EQ(GbpsToBytesPerNs(8.0), 1.0);
+}
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(8 * kKiB), "8 KiB");
+  EXPECT_EQ(FormatBytes(3 * kMiB), "3 MiB");
+  EXPECT_EQ(FormatBytes(kGiB + kGiB / 2), "1.50 GiB");
+}
+
+TEST(UnitsTest, FormatBandwidth) {
+  EXPECT_EQ(FormatBandwidth(1024.0 * 1024 * 1024), "1 GiB/s");
+}
+
+TEST(UnitsTest, FormatDuration) {
+  EXPECT_EQ(FormatDuration(500), "500 ns");
+  EXPECT_EQ(FormatDuration(1500 * kMicrosecond), "1.50 ms");
+  EXPECT_EQ(FormatDuration(25 * kSecond / 10), "2.50 s") << "2.5 seconds";
+}
+
+}  // namespace
+}  // namespace dfi

@@ -1,0 +1,56 @@
+#include "core/nodes.h"
+
+#include <gtest/gtest.h>
+
+namespace dfi {
+namespace {
+
+TEST(DfiNodesTest, ParsesPaperNotation) {
+  DfiNodes n({"192.168.0.1|0", "192.168.0.2|13"});
+  ASSERT_EQ(n.size(), 2u);
+  EXPECT_EQ(n[0].address, "192.168.0.1");
+  EXPECT_EQ(n[0].thread_id, 0u);
+  EXPECT_EQ(n[1].address, "192.168.0.2");
+  EXPECT_EQ(n[1].thread_id, 13u);
+}
+
+TEST(DfiNodesTest, ParseRejectsMalformed) {
+  EXPECT_EQ(DfiNodes::Parse({"noseparator"}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(DfiNodes::Parse({"|2"}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(DfiNodes::Parse({"host|"}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(DfiNodes::Parse({"host|x1"}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DfiNodesTest, ResolveAgainstFabric) {
+  net::Fabric fabric;
+  ASSERT_TRUE(fabric.AddNode("a").ok());
+  ASSERT_TRUE(fabric.AddNode("b").ok());
+  DfiNodes n({"b|0", "a|1", "b|1"});
+  auto ids = n.Resolve(fabric);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ((*ids)[0], 1u);
+  EXPECT_EQ((*ids)[1], 0u);
+  EXPECT_EQ((*ids)[2], 1u);
+}
+
+TEST(DfiNodesTest, ResolveUnknownAddressFails) {
+  net::Fabric fabric;
+  DfiNodes n({"ghost|0"});
+  EXPECT_EQ(n.Resolve(fabric).status().code(), StatusCode::kNotFound);
+}
+
+TEST(DfiNodesTest, GridOf) {
+  DfiNodes n = DfiNodes::GridOf({"n1", "n2"}, 3);
+  ASSERT_EQ(n.size(), 6u);
+  EXPECT_EQ(n[0].address, "n1");
+  EXPECT_EQ(n[2].thread_id, 2u);
+  EXPECT_EQ(n[3].address, "n2");
+  EXPECT_EQ(n[3].thread_id, 0u);
+}
+
+}  // namespace
+}  // namespace dfi

@@ -1,0 +1,105 @@
+#include "core/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace dfi {
+namespace {
+
+TEST(SchemaTest, OffsetsArePacked) {
+  Schema schema{{"a", DataType::kInt32},
+                {"b", DataType::kInt64},
+                {"c", DataType::kUInt16}};
+  EXPECT_EQ(schema.num_fields(), 3u);
+  EXPECT_EQ(schema.offset(0), 0u);
+  EXPECT_EQ(schema.offset(1), 4u);
+  EXPECT_EQ(schema.offset(2), 12u);
+  EXPECT_EQ(schema.tuple_size(), 14u);
+}
+
+TEST(SchemaTest, TypeSizesMirrorLp64) {
+  EXPECT_EQ(DataTypeSize(DataType::kInt8), 1u);
+  EXPECT_EQ(DataTypeSize(DataType::kUInt16), 2u);
+  EXPECT_EQ(DataTypeSize(DataType::kInt32), 4u);
+  EXPECT_EQ(DataTypeSize(DataType::kFloat), 4u);
+  EXPECT_EQ(DataTypeSize(DataType::kInt64), 8u);
+  EXPECT_EQ(DataTypeSize(DataType::kDouble), 8u);
+}
+
+TEST(SchemaTest, CharFieldUsesExplicitLength) {
+  Schema schema{{"key", DataType::kUInt64}, {"pad", DataType::kChar, 24}};
+  EXPECT_EQ(schema.tuple_size(), 32u);
+  EXPECT_EQ(schema.field_size(1), 24u);
+}
+
+TEST(SchemaTest, CreateRejectsEmpty) {
+  EXPECT_EQ(Schema::Create({}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, CreateRejectsDuplicateNames) {
+  auto s = Schema::Create({{"x", DataType::kInt32, 0},
+                           {"x", DataType::kInt64, 0}});
+  EXPECT_EQ(s.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, CreateRejectsZeroLengthChar) {
+  auto s = Schema::Create({{"c", DataType::kChar, 0}});
+  EXPECT_EQ(s.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, IndexOf) {
+  Schema schema{{"key", DataType::kUInt64}, {"value", DataType::kUInt64}};
+  auto idx = schema.IndexOf("value");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1u);
+  EXPECT_EQ(schema.IndexOf("missing").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, Equality) {
+  Schema a{{"k", DataType::kUInt64}};
+  Schema b{{"k", DataType::kUInt64}};
+  Schema c{{"k", DataType::kUInt32}};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SchemaTest, ToStringIsReadable) {
+  Schema schema{{"key", DataType::kUInt64}, {"pad", DataType::kChar, 8}};
+  EXPECT_EQ(schema.ToString(), "{key:uint64, pad:char(8)}");
+}
+
+TEST(TupleTest, WriteAndReadRoundTrip) {
+  Schema schema{{"key", DataType::kUInt64},
+                {"count", DataType::kInt32},
+                {"score", DataType::kDouble}};
+  std::vector<uint8_t> buf(schema.tuple_size());
+  TupleWriter(buf.data(), &schema)
+      .Set<uint64_t>(0, 0xDEADBEEFull)
+      .Set<int32_t>(1, -42)
+      .Set<double>(2, 2.75);
+  TupleView view(buf.data(), &schema);
+  EXPECT_EQ(view.Get<uint64_t>(0), 0xDEADBEEFull);
+  EXPECT_EQ(view.Get<int32_t>(1), -42);
+  EXPECT_DOUBLE_EQ(view.Get<double>(2), 2.75);
+}
+
+TEST(TupleTest, UnalignedAccessViaMemcpy) {
+  // Packed layout forces unaligned 8-byte fields; getters must still work.
+  Schema schema{{"pad", DataType::kUInt8}, {"key", DataType::kUInt64}};
+  std::vector<uint8_t> buf(schema.tuple_size());
+  TupleWriter(buf.data(), &schema).Set<uint64_t>(1, 0x0123456789ABCDEFull);
+  TupleView view(buf.data(), &schema);
+  EXPECT_EQ(view.Get<uint64_t>(1), 0x0123456789ABCDEFull);
+}
+
+TEST(TupleTest, SetBytes) {
+  Schema schema{{"name", DataType::kChar, 5}};
+  std::vector<uint8_t> buf(schema.tuple_size());
+  TupleWriter(buf.data(), &schema).SetBytes(0, "hello", 5);
+  TupleView view(buf.data(), &schema);
+  EXPECT_EQ(std::memcmp(view.FieldPtr(0), "hello", 5), 0);
+}
+
+}  // namespace
+}  // namespace dfi

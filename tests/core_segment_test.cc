@@ -1,0 +1,58 @@
+#include "core/segment.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dfi {
+namespace {
+
+TEST(SegmentFooterTest, LayoutIsWireFormat) {
+  EXPECT_EQ(sizeof(SegmentFooter), 24u);
+  SegmentFooter f;
+  EXPECT_EQ(f.flags, kFlagWritable);
+  EXPECT_FALSE(f.consumable());
+  f.flags = kFlagConsumable;
+  EXPECT_TRUE(f.consumable());
+  EXPECT_FALSE(f.end_of_flow());
+  f.flags = kFlagConsumable | kFlagEndOfFlow;
+  EXPECT_TRUE(f.end_of_flow());
+}
+
+TEST(SegmentRingTest, GeometryAndAddressing) {
+  std::vector<uint8_t> mem(4 * (1024 + sizeof(SegmentFooter)));
+  SegmentRing ring(mem.data(), 1024, 4);
+  EXPECT_EQ(ring.slot_bytes(), 1024 + 24u);
+  EXPECT_EQ(ring.total_bytes(), 4 * (1024 + 24u));
+  EXPECT_EQ(ring.payload(0), mem.data());
+  EXPECT_EQ(ring.payload(1), mem.data() + 1048);
+  EXPECT_EQ(reinterpret_cast<uint8_t*>(ring.footer(0)),
+            mem.data() + 1024);
+  EXPECT_EQ(ring.slot_offset(2), 2 * 1048u);
+  EXPECT_EQ(ring.footer_offset(2), 2 * 1048u + 1024);
+}
+
+TEST(SegmentRingTest, FlagsRoundTripWithDmaSemantics) {
+  std::vector<uint8_t> mem(2 * (64 + sizeof(SegmentFooter)));
+  SegmentRing ring(mem.data(), 64, 2);
+  EXPECT_EQ(ring.LoadFlags(0), kFlagWritable);
+  ring.footer(0)->fill_bytes = 48;
+  ring.StoreFlags(0, kFlagConsumable);
+  EXPECT_EQ(ring.LoadFlags(0), kFlagConsumable);
+  EXPECT_EQ(ring.footer(0)->fill_bytes, 48u);
+  EXPECT_EQ(ring.LoadFlags(1), kFlagWritable) << "slots independent";
+}
+
+TEST(SegmentRingTest, FooterIsEightAlignedWithinSlot) {
+  // Payload capacities are forced to multiples of 8 so the footer (and its
+  // atomic final byte's containing word) stay aligned.
+  std::vector<uint8_t> mem(3 * (8 + sizeof(SegmentFooter)));
+  SegmentRing ring(mem.data(), 8, 3);
+  for (uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(ring.footer(i)) % 8, 0u)
+        << "footer " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dfi

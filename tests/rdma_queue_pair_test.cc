@@ -1,0 +1,197 @@
+#include "rdma/queue_pair.h"
+
+#include <gtest/gtest.h>
+
+#include "rdma/rdma_env.h"
+
+namespace dfi::rdma {
+namespace {
+
+class QueuePairTest : public ::testing::Test {
+ protected:
+  QueuePairTest() : env_(&fabric_) {
+    nodes_ = fabric_.AddNodes(2);
+    src_ctx_ = env_.context(nodes_[0]);
+    dst_ctx_ = env_.context(nodes_[1]);
+    cq_ = src_ctx_->CreateCq();
+    qp_ = src_ctx_->CreateRcQp(nodes_[1], cq_);
+    remote_mr_ = dst_ctx_->AllocateRegion(4096);
+    local_mr_ = src_ctx_->AllocateRegion(4096);
+  }
+
+  net::Fabric fabric_;
+  RdmaEnv env_;
+  std::vector<net::NodeId> nodes_;
+  RdmaContext* src_ctx_;
+  RdmaContext* dst_ctx_;
+  CompletionQueue* cq_;
+  RcQueuePair* qp_;
+  MemoryRegion* remote_mr_;
+  MemoryRegion* local_mr_;
+  VirtualClock clock_;
+};
+
+TEST_F(QueuePairTest, WriteMovesBytes) {
+  for (int i = 0; i < 100; ++i) local_mr_->addr()[i] = static_cast<uint8_t>(i);
+  WriteDesc desc;
+  desc.local = local_mr_->addr();
+  desc.remote = remote_mr_->RefAt(100);
+  desc.length = 100;
+  auto t = qp_->PostWrite(desc, &clock_);
+  ASSERT_TRUE(t.ok()) << t.status();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(remote_mr_->addr()[100 + i], i);
+  }
+}
+
+TEST_F(QueuePairTest, WriteTimingMilestonesOrdered) {
+  WriteDesc desc;
+  desc.local = local_mr_->addr();
+  desc.remote = remote_mr_->RefAt(0);
+  desc.length = 1024;
+  auto t = qp_->PostWrite(desc, &clock_);
+  ASSERT_TRUE(t.ok());
+  EXPECT_GT(t->post_done, 0);
+  EXPECT_GT(t->arrival, t->post_done);
+  EXPECT_GT(t->ack, t->arrival);
+  // Posting is asynchronous: the caller clock only advanced by the post
+  // cost, far less than the arrival time.
+  EXPECT_LT(clock_.now(), t->arrival);
+}
+
+TEST_F(QueuePairTest, SmallWriteLatencyMatchesModel) {
+  const net::SimConfig& cfg = fabric_.config();
+  WriteDesc desc;
+  desc.local = local_mr_->addr();
+  desc.remote = remote_mr_->RefAt(0);
+  desc.length = 16;
+  auto t = qp_->PostWrite(desc, &clock_);
+  ASSERT_TRUE(t.ok());
+  // One-way: post + nic + egress(16B) + propagation + ingress(16B).
+  const SimTime transfer =
+      static_cast<SimTime>(16 / cfg.LinkBytesPerNs());
+  const SimTime expected = cfg.post_wqe_ns + cfg.nic_process_ns + transfer +
+                           cfg.propagation_ns + transfer;
+  EXPECT_NEAR(t->arrival, expected, 5);
+}
+
+TEST_F(QueuePairTest, SignaledWritePushesCompletion) {
+  WriteDesc desc;
+  desc.local = local_mr_->addr();
+  desc.remote = remote_mr_->RefAt(0);
+  desc.length = 64;
+  desc.signaled = true;
+  desc.wr_id = 77;
+  auto t = qp_->PostWrite(desc, &clock_);
+  ASSERT_TRUE(t.ok());
+  Completion c;
+  ASSERT_TRUE(cq_->TryPoll(&c, &clock_));
+  EXPECT_EQ(c.wr_id, 77u);
+  EXPECT_EQ(c.type, WorkType::kWrite);
+  EXPECT_EQ(c.time, t->ack);
+  EXPECT_GE(clock_.now(), t->ack) << "polling joins the clock with the ack";
+}
+
+TEST_F(QueuePairTest, UnsignaledWriteHasNoCompletion) {
+  WriteDesc desc;
+  desc.local = local_mr_->addr();
+  desc.remote = remote_mr_->RefAt(0);
+  desc.length = 64;
+  auto t = qp_->PostWrite(desc, &clock_);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(cq_->size(), 0u);
+}
+
+TEST_F(QueuePairTest, WriteOutOfBoundsRejected) {
+  WriteDesc desc;
+  desc.local = local_mr_->addr();
+  desc.remote = remote_mr_->RefAt(4090);
+  desc.length = 100;
+  auto t = qp_->PostWrite(desc, &clock_);
+  EXPECT_EQ(t.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(QueuePairTest, ReadFetchesRemoteBytes) {
+  for (int i = 0; i < 32; ++i) {
+    remote_mr_->addr()[i] = static_cast<uint8_t>(0xF0 + i);
+  }
+  ReadDesc desc;
+  desc.local = local_mr_->addr();
+  desc.remote = remote_mr_->RefAt(0);
+  desc.length = 32;
+  auto t = qp_->PostRead(desc, &clock_);
+  ASSERT_TRUE(t.ok());
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(local_mr_->addr()[i], static_cast<uint8_t>(0xF0 + i));
+  }
+  EXPECT_GT(t->arrival, 0);
+}
+
+TEST_F(QueuePairTest, FetchAddReturnsOldAndIncrements) {
+  auto* counter = reinterpret_cast<uint64_t*>(remote_mr_->addr());
+  *counter = 5;
+  auto old = qp_->FetchAdd(remote_mr_->RefAt(0), 3, &clock_);
+  ASSERT_TRUE(old.ok());
+  EXPECT_EQ(*old, 5u);
+  EXPECT_EQ(*counter, 8u);
+  // Fetch-add is blocking: the clock advanced by a full round trip.
+  EXPECT_GT(clock_.now(), 2 * fabric_.config().propagation_ns);
+}
+
+TEST_F(QueuePairTest, FetchAddSequencesConcurrentCallers) {
+  auto* counter = reinterpret_cast<uint64_t*>(remote_mr_->addr());
+  *counter = 0;
+  CompletionQueue* cq2 = dst_ctx_->CreateCq();
+  RcQueuePair* qp2 = dst_ctx_->CreateRcQp(nodes_[0], cq2);
+  // Two QPs hammer the same counter; all returned values must be unique.
+  std::vector<uint64_t> seen;
+  VirtualClock clock2;
+  for (int i = 0; i < 50; ++i) {
+    auto a = qp_->FetchAdd(remote_mr_->RefAt(0), 1, &clock_);
+    ASSERT_TRUE(a.ok());
+    seen.push_back(*a);
+    // qp2 targets node 0's MR? No — same remote MR on node 1 via its rkey.
+    auto b = qp2->FetchAdd(remote_mr_->RefAt(0), 1, &clock2);
+    ASSERT_TRUE(b.ok());
+    seen.push_back(*b);
+  }
+  std::sort(seen.begin(), seen.end());
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], i);
+  }
+  EXPECT_EQ(*counter, 100u);
+}
+
+TEST_F(QueuePairTest, BandwidthOfPipelinedWritesMatchesLink) {
+  // 1000 unsignaled 8 KiB writes back to back must move at link speed.
+  WriteDesc desc;
+  desc.local = local_mr_->addr();
+  desc.remote = remote_mr_->RefAt(0);
+  desc.length = 4096;
+  OpTiming last{};
+  for (int i = 0; i < 1000; ++i) {
+    auto t = qp_->PostWrite(desc, &clock_);
+    ASSERT_TRUE(t.ok());
+    last = *t;
+  }
+  const double bytes = 4096.0 * 1000;
+  const double rate = bytes / static_cast<double>(last.arrival);  // B/ns
+  EXPECT_NEAR(rate, fabric_.config().LinkBytesPerNs(), 0.5);
+}
+
+TEST_F(QueuePairTest, InlineWriteChargesCopyCost) {
+  WriteDesc desc;
+  desc.local = local_mr_->addr();
+  desc.remote = remote_mr_->RefAt(0);
+  desc.length = 200;
+  desc.inlined = true;
+  VirtualClock plain_clock, inline_clock;
+  WriteDesc plain = desc;
+  plain.inlined = false;
+  ASSERT_TRUE(qp_->PostWrite(plain, &plain_clock).ok());
+  ASSERT_TRUE(qp_->PostWrite(desc, &inline_clock).ok());
+  EXPECT_GT(inline_clock.now(), plain_clock.now());
+}
+
+}  // namespace
+}  // namespace dfi::rdma

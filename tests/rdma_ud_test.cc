@@ -1,0 +1,164 @@
+#include "rdma/ud_queue_pair.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "rdma/rdma_env.h"
+
+namespace dfi::rdma {
+namespace {
+
+class UdTest : public ::testing::Test {
+ protected:
+  explicit UdTest(net::SimConfig cfg = net::SimConfig())
+      : fabric_(cfg), env_(&fabric_) {
+    nodes_ = fabric_.AddNodes(9);  // 1 sender + 8 receivers
+    sender_ctx_ = env_.context(nodes_[0]);
+    sender_qp_ =
+        sender_ctx_->CreateUdQp(sender_ctx_->CreateCq(),
+                                sender_ctx_->CreateCq());
+  }
+
+  struct Receiver {
+    UdQueuePair* qp;
+    CompletionQueue* cq;
+    MemoryRegion* pool;
+  };
+
+  Receiver MakeReceiver(net::NodeId node, uint32_t slots, uint32_t bytes) {
+    RdmaContext* ctx = env_.context(node);
+    Receiver r;
+    r.cq = ctx->CreateCq();
+    r.qp = ctx->CreateUdQp(ctx->CreateCq(), r.cq);
+    r.pool = ctx->AllocateRegion(static_cast<size_t>(slots) * bytes);
+    for (uint32_t i = 0; i < slots; ++i) {
+      r.qp->PostRecv(r.pool->addr() + static_cast<size_t>(i) * bytes, bytes,
+                     i);
+    }
+    return r;
+  }
+
+  net::Fabric fabric_;
+  RdmaEnv env_;
+  std::vector<net::NodeId> nodes_;
+  RdmaContext* sender_ctx_;
+  UdQueuePair* sender_qp_;
+  VirtualClock clock_;
+};
+
+TEST_F(UdTest, UnicastDeliversIntoPostedRecv) {
+  Receiver r = MakeReceiver(nodes_[1], 4, 256);
+  uint8_t msg[100];
+  for (int i = 0; i < 100; ++i) msg[i] = static_cast<uint8_t>(i * 3);
+  auto t = sender_qp_->PostSend(r.qp->qpn(), msg, 100, 1, false, &clock_);
+  ASSERT_TRUE(t.ok()) << t.status();
+  Completion c;
+  VirtualClock rclock;
+  ASSERT_TRUE(r.cq->TryPoll(&c, &rclock));
+  EXPECT_EQ(c.type, WorkType::kRecv);
+  EXPECT_EQ(c.byte_len, 100u);
+  EXPECT_EQ(c.src_node, nodes_[0]);
+  EXPECT_EQ(std::memcmp(r.pool->addr(), msg, 100), 0);
+  EXPECT_GE(rclock.now(), t->arrival);
+}
+
+TEST_F(UdTest, NoPostedRecvDropsDatagram) {
+  Receiver r = MakeReceiver(nodes_[1], 1, 256);
+  uint8_t msg[32] = {};
+  ASSERT_TRUE(
+      sender_qp_->PostSend(r.qp->qpn(), msg, 32, 1, false, &clock_).ok());
+  ASSERT_TRUE(
+      sender_qp_->PostSend(r.qp->qpn(), msg, 32, 2, false, &clock_).ok());
+  EXPECT_EQ(r.cq->size(), 1u);
+  EXPECT_EQ(r.qp->drops_no_recv(), 1u);
+}
+
+TEST_F(UdTest, PayloadOverMtuRejected) {
+  Receiver r = MakeReceiver(nodes_[1], 1, 8192);
+  std::vector<uint8_t> big(fabric_.config().ud_mtu_bytes + 1);
+  auto t = sender_qp_->PostSend(r.qp->qpn(), big.data(),
+                                static_cast<uint32_t>(big.size()), 1, false,
+                                &clock_);
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(UdTest, UnknownQpnRejected) {
+  uint8_t msg[8] = {};
+  auto t = sender_qp_->PostSend(424242, msg, 8, 1, false, &clock_);
+  EXPECT_EQ(t.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(UdTest, MulticastReachesAllMembers) {
+  net::MulticastGroupId group = fabric_.network_switch().CreateGroup();
+  std::vector<Receiver> receivers;
+  for (int i = 1; i <= 8; ++i) {
+    Receiver r = MakeReceiver(nodes_[i], 4, 512);
+    ASSERT_TRUE(r.qp->AttachMulticast(group).ok());
+    receivers.push_back(r);
+  }
+  uint8_t msg[64];
+  std::memset(msg, 0x5A, sizeof(msg));
+  auto t = sender_qp_->PostSendMulticast(group, msg, 64, 9, false, &clock_);
+  ASSERT_TRUE(t.ok()) << t.status();
+  for (auto& r : receivers) {
+    Completion c;
+    VirtualClock rc;
+    ASSERT_TRUE(r.cq->TryPoll(&c, &rc));
+    EXPECT_EQ(std::memcmp(r.pool->addr(), msg, 64), 0);
+  }
+}
+
+TEST_F(UdTest, MulticastAggregateBandwidthExceedsOneLink) {
+  // The headline property of Figure 8b: aggregated receive bandwidth with 8
+  // targets exceeds the sender's link speed, because replication happens in
+  // the switch.
+  net::MulticastGroupId group = fabric_.network_switch().CreateGroup();
+  std::vector<Receiver> receivers;
+  const uint32_t kBytes = 4096;
+  const int kMessages = 500;
+  for (int i = 1; i <= 8; ++i) {
+    Receiver r = MakeReceiver(nodes_[i], kMessages, kBytes);
+    ASSERT_TRUE(r.qp->AttachMulticast(group).ok());
+    receivers.push_back(r);
+  }
+  OpTiming last{};
+  std::vector<uint8_t> msg(kBytes, 1);
+  for (int i = 0; i < kMessages; ++i) {
+    auto t = sender_qp_->PostSendMulticast(group, msg.data(), kBytes, i,
+                                           false, &clock_);
+    ASSERT_TRUE(t.ok());
+    last = *t;
+  }
+  const double delivered = 8.0 * kBytes * kMessages;
+  const double rate = delivered / static_cast<double>(last.arrival);
+  EXPECT_GT(rate, 2.0 * fabric_.config().LinkBytesPerNs());
+}
+
+class UdLossTest : public UdTest {
+ protected:
+  static net::SimConfig LossConfig() {
+    net::SimConfig cfg;
+    cfg.multicast_loss_probability = 0.2;
+    cfg.loss_seed = 7;
+    return cfg;
+  }
+  UdLossTest() : UdTest(LossConfig()) {}
+};
+
+TEST_F(UdLossTest, LossInjectionDropsSomeDeliveries) {
+  net::MulticastGroupId group = fabric_.network_switch().CreateGroup();
+  Receiver r = MakeReceiver(nodes_[1], 1000, 128);
+  ASSERT_TRUE(r.qp->AttachMulticast(group).ok());
+  uint8_t msg[64] = {};
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(
+        sender_qp_->PostSendMulticast(group, msg, 64, i, false, &clock_)
+            .ok());
+  }
+  EXPECT_LT(r.cq->size(), 950u);
+  EXPECT_GT(r.cq->size(), 650u);
+}
+
+}  // namespace
+}  // namespace dfi::rdma

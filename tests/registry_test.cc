@@ -1,0 +1,65 @@
+#include "registry/flow_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace dfi {
+namespace {
+
+struct DummyState : FlowStateBase {
+  explicit DummyState(int v) : value(v) {}
+  int value;
+};
+
+TEST(FlowRegistryTest, PublishAndRetrieve) {
+  FlowRegistry registry;
+  ASSERT_TRUE(registry.Publish("f", std::make_shared<DummyState>(1)).ok());
+  auto s = registry.Retrieve("f");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(std::static_pointer_cast<DummyState>(*s)->value, 1);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(FlowRegistryTest, DuplicateNameRejected) {
+  FlowRegistry registry;
+  ASSERT_TRUE(registry.Publish("f", std::make_shared<DummyState>(1)).ok());
+  EXPECT_EQ(registry.Publish("f", std::make_shared<DummyState>(2)).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(FlowRegistryTest, MissingFlowNotFound) {
+  FlowRegistry registry;
+  EXPECT_EQ(registry.Retrieve("nope").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(registry.Remove("nope").code(), StatusCode::kNotFound);
+}
+
+TEST(FlowRegistryTest, RemoveFreesName) {
+  FlowRegistry registry;
+  ASSERT_TRUE(registry.Publish("f", std::make_shared<DummyState>(1)).ok());
+  ASSERT_TRUE(registry.Remove("f").ok());
+  EXPECT_TRUE(registry.Publish("f", std::make_shared<DummyState>(2)).ok());
+}
+
+TEST(FlowRegistryTest, RetrieveBlockingWaitsForPublish) {
+  FlowRegistry registry;
+  std::thread publisher([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    ASSERT_TRUE(registry.Publish("late", std::make_shared<DummyState>(9))
+                    .ok());
+  });
+  auto s = registry.RetrieveBlocking("late", std::chrono::milliseconds(2000));
+  publisher.join();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(std::static_pointer_cast<DummyState>(*s)->value, 9);
+}
+
+TEST(FlowRegistryTest, RetrieveBlockingTimesOut) {
+  FlowRegistry registry;
+  auto s = registry.RetrieveBlocking("never", std::chrono::milliseconds(20));
+  EXPECT_EQ(s.status().code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace dfi
