@@ -2,6 +2,7 @@
 #define DFI_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -49,6 +50,37 @@ inline std::string Num(double v) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.0f", v);
   return buf;
+}
+
+/// Shared bench entry point: parses the command line (`--json <path>`
+/// emits the printed tables as machine-readable JSON for CI) and runs the
+/// benchmark body.
+inline int BenchMain(int argc, char** argv, void (*run)()) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (!json_path.empty()) {
+    // Fail before the run, not after: benches take minutes, and an
+    // unwritable path would otherwise be reported only at the very end.
+    if (!std::ofstream(json_path)) {
+      std::fprintf(stderr, "error: could not write %s\n", json_path.c_str());
+      return 1;
+    }
+    EnableResultCapture();
+  }
+  run();
+  if (!json_path.empty() && !WriteJsonResults(json_path)) {
+    std::fprintf(stderr, "error: could not write %s\n", json_path.c_str());
+    return 1;
+  }
+  return 0;
 }
 
 /// A pad schema with an 8-byte key and `size`-byte total tuples.

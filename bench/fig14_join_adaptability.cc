@@ -79,4 +79,6 @@ void Run() {
 }  // namespace
 }  // namespace dfi::bench
 
-int main() { dfi::bench::Run(); }
+int main(int argc, char** argv) {
+  return dfi::bench::BenchMain(argc, argv, dfi::bench::Run);
+}

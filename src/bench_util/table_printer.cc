@@ -5,6 +5,68 @@
 #include <utility>
 
 namespace dfi::bench {
+namespace {
+
+/// Process-wide collector behind the `--json` bench flag. Benches are
+/// single-threaded reporters (tables are printed from main), so no locking.
+struct JsonTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+struct JsonSection {
+  std::string title;
+  std::vector<JsonTable> tables;
+};
+struct Collector {
+  bool enabled = false;
+  std::vector<JsonSection> sections;
+};
+
+Collector& collector() {
+  static Collector c;
+  return c;
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          *out += buf;
+        } else {
+          out->push_back(ch);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonStringArray(std::string* out,
+                           const std::vector<std::string>& items) {
+  out->push_back('[');
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    AppendJsonString(out, items[i]);
+  }
+  out->push_back(']');
+}
+
+}  // namespace
 
 TablePrinter::TablePrinter(std::vector<std::string> header) {
   rows_.push_back(std::move(header));
@@ -43,10 +105,56 @@ std::string TablePrinter::ToString() const {
   return out;
 }
 
-void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+void TablePrinter::Print() const {
+  std::fputs(ToString().c_str(), stdout);
+  Collector& c = collector();
+  if (!c.enabled) return;
+  // Tables printed before any PrintSection land in an untitled section.
+  if (c.sections.empty()) c.sections.emplace_back();
+  JsonTable table;
+  table.header = rows_.front();
+  table.rows.assign(rows_.begin() + 1, rows_.end());
+  c.sections.back().tables.push_back(std::move(table));
+}
 
 void PrintSection(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+  Collector& c = collector();
+  if (c.enabled) c.sections.push_back(JsonSection{title, {}});
+}
+
+void EnableResultCapture() { collector().enabled = true; }
+
+bool ResultCaptureEnabled() { return collector().enabled; }
+
+bool WriteJsonResults(const std::string& path) {
+  std::string out = "{\"sections\":[";
+  const Collector& c = collector();
+  for (size_t s = 0; s < c.sections.size(); ++s) {
+    if (s > 0) out.push_back(',');
+    out += "{\"title\":";
+    AppendJsonString(&out, c.sections[s].title);
+    out += ",\"tables\":[";
+    const auto& tables = c.sections[s].tables;
+    for (size_t t = 0; t < tables.size(); ++t) {
+      if (t > 0) out.push_back(',');
+      out += "{\"header\":";
+      AppendJsonStringArray(&out, tables[t].header);
+      out += ",\"rows\":[";
+      for (size_t r = 0; r < tables[t].rows.size(); ++r) {
+        if (r > 0) out.push_back(',');
+        AppendJsonStringArray(&out, tables[t].rows[r]);
+      }
+      out += "]}";
+    }
+    out += "]}";
+  }
+  out += "]}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  return std::fclose(f) == 0 && ok;
 }
 
 }  // namespace dfi::bench

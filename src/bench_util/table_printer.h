@@ -30,6 +30,18 @@ class TablePrinter {
 /// Prints a benchmark section header ("=== Figure 7a: ... ===").
 void PrintSection(const std::string& title);
 
+/// Machine-readable result capture (the `--json` bench flag). When enabled,
+/// PrintSection and TablePrinter::Print additionally record their
+/// sections/tables into a process-wide collector; WriteJsonResults
+/// serializes everything captured so far as
+/// `{"sections": [{"title", "tables": [{"header", "rows"}]}]}`.
+void EnableResultCapture();
+bool ResultCaptureEnabled();
+
+/// Writes the captured results as JSON to `path`. Returns false on I/O
+/// failure.
+bool WriteJsonResults(const std::string& path);
+
 }  // namespace dfi::bench
 
 #endif  // DFI_BENCH_UTIL_TABLE_PRINTER_H_

@@ -66,6 +66,10 @@ ChannelSource::ChannelSource(ChannelShared* shared,
                              rdma::RdmaContext* source_ctx,
                              VirtualClock* clock)
     : shared_(shared), clock_(clock), config_(&source_ctx->config()) {
+  tuple_push_cost_ns_ =
+      config_->tuple_push_fixed_ns +
+      static_cast<SimTime>(std::llround(shared_->tuple_size() *
+                                        config_->tuple_copy_ns_per_byte));
   send_cq_ = source_ctx->CreateCq();
   qp_ = source_ctx->CreateRcQp(shared_->target_node(), send_cq_);
   const bool latency =
@@ -95,9 +99,7 @@ Status ChannelSource::Push(const void* tuple, uint32_t len) {
                                    std::to_string(len) + ", schema has " +
                                    std::to_string(shared_->tuple_size()));
   }
-  clock_->Advance(config_->tuple_push_fixed_ns +
-                  static_cast<SimTime>(std::llround(
-                      len * config_->tuple_copy_ns_per_byte)));
+  clock_->Advance(tuple_push_cost_ns_);
 
   if (shared_->options().optimization == FlowOptimization::kLatency) {
     // One tuple = one segment, transmitted immediately (flow control via
@@ -107,15 +109,59 @@ Status ChannelSource::Push(const void* tuple, uint32_t len) {
   }
 
   // Bandwidth mode: stage into the current segment of the source ring.
+  // Invariant: every path that fills a segment (the tail of this function,
+  // CommitTuples) eagerly flushes once no further tuple fits, so on entry
+  // the current segment always has room for one more tuple.
   const uint32_t capacity = staging_.payload_capacity();
-  if (fill_ + len > capacity) {
-    DFI_RETURN_IF_ERROR(Flush());
-  }
+  DFI_DCHECK(fill_ + len <= capacity);
   std::memcpy(staging_.payload(staging_slot_) + fill_, tuple, len);
   fill_ += len;
   if (fill_ + shared_->tuple_size() > capacity) {
     // Eagerly transmit full segments for maximal pipelining.
     DFI_RETURN_IF_ERROR(Flush());
+  }
+  return Status::OK();
+}
+
+Status ChannelSource::ReserveTuples(uint32_t max_tuples, uint32_t* granted,
+                                    uint8_t** out) {
+  if (closed_) {
+    return Status::FailedPrecondition("reserve on closed channel");
+  }
+  if (shared_->options().optimization == FlowOptimization::kLatency) {
+    // One tuple = one segment: grant single-tuple reservations that
+    // CommitTuples transmits immediately.
+    *granted = max_tuples == 0 ? 0 : 1;
+    *out = staging_.payload(0);
+    return Status::OK();
+  }
+  const uint32_t tuple_size = shared_->tuple_size();
+  const uint32_t capacity = staging_.payload_capacity();
+  DFI_DCHECK(fill_ + tuple_size <= capacity);  // eager-flush invariant
+  const uint32_t space = (capacity - fill_) / tuple_size;
+  *granted = std::min(max_tuples, space);
+  *out = staging_.payload(staging_slot_) + fill_;
+  return Status::OK();
+}
+
+Status ChannelSource::CommitTuples(uint32_t count) {
+  if (count == 0) return Status::OK();
+  if (closed_) {
+    return Status::FailedPrecondition("commit on closed channel");
+  }
+  // One clock charge for the whole batch instead of one per tuple.
+  clock_->Advance(static_cast<SimTime>(count) * tuple_push_cost_ns_);
+  const uint32_t tuple_size = shared_->tuple_size();
+  if (shared_->options().optimization == FlowOptimization::kLatency) {
+    DFI_CHECK_EQ(count, 1u) << "latency-mode reservations are single-tuple";
+    return TransmitSegment(staging_.payload(0), tuple_size, /*end=*/false);
+  }
+  fill_ += count * tuple_size;
+  DFI_DCHECK(fill_ <= staging_.payload_capacity());
+  if (fill_ + tuple_size > staging_.payload_capacity()) {
+    // Eagerly transmit full segments for maximal pipelining (same invariant
+    // as Push).
+    return Flush();
   }
   return Status::OK();
 }
@@ -301,8 +347,10 @@ Status ChannelSource::TransmitSegment(const uint8_t* payload, uint32_t fill,
 
   if (wrap) signal_outstanding_ = true;
   shared_->sync().Notify();
-  if (RingSync* gate = shared_->target_gate(); gate != nullptr) {
-    gate->Notify();
+  if (ReadyGate* gate = shared_->target_gate(); gate != nullptr) {
+    // Announce the delivery: the target pops this channel's index instead
+    // of scanning all of its rings.
+    gate->Enqueue(shared_->source_index());
   }
 
   if (latency) {

@@ -61,11 +61,12 @@ class ChannelShared {
   net::NodeId target_node() const { return target_node_; }
   RingSync& sync() { return sync_; }
 
-  /// Optional extra wakeup channel: a gate shared by all channels of one
-  /// target thread, so a target blocked on "any of my rings" wakes when any
-  /// channel delivers.
-  void set_target_gate(RingSync* gate) { target_gate_ = gate; }
-  RingSync* target_gate() const { return target_gate_; }
+  /// Optional ready-channel gate shared by all channels of one target
+  /// thread: a source announces each delivered segment by enqueuing this
+  /// channel's index (== source_index), so a target blocked on "any of my
+  /// rings" wakes when any channel delivers and knows *which* one did.
+  void set_target_gate(ReadyGate* gate) { target_gate_ = gate; }
+  ReadyGate* target_gate() const { return target_gate_; }
 
   /// Latency-mode credit state (paper section 5.3). The credit counter
   /// (number of tuples consumed by the target) lives in its own registered
@@ -88,7 +89,7 @@ class ChannelShared {
   rdma::MemoryRegion* credit_mr_;  // latency-mode credit counter
   SegmentRing ring_;
   RingSync sync_;
-  RingSync* target_gate_ = nullptr;
+  ReadyGate* target_gate_ = nullptr;
   std::unique_ptr<std::atomic<SimTime>[]> slot_free_time_;
 };
 
@@ -117,6 +118,23 @@ class ChannelSource {
   /// transmit now). `len` must equal the flow's tuple size.
   Status Push(const void* tuple, uint32_t len);
 
+  /// Zero-copy batch reservation: grants space for up to `max_tuples`
+  /// packed tuples directly in the current staging segment, so batch
+  /// partitioners scatter tuples in place instead of routing them through a
+  /// second per-tuple copy. `*granted` is the number of tuples that fit
+  /// (>= 1 whenever max_tuples >= 1; bounded by the space left in the
+  /// segment, and by 1 in latency mode where each tuple is its own
+  /// segment); `*out` points at the reservation. The reservation must be
+  /// filled and sealed with CommitTuples before any other push/flush call
+  /// on this channel.
+  Status ReserveTuples(uint32_t max_tuples, uint32_t* granted, uint8_t** out);
+
+  /// Seals `count` tuples written into the last reservation: charges the
+  /// per-tuple virtual cost once for the whole batch and transmits
+  /// (latency: immediately; bandwidth: when the segment is full, keeping
+  /// the eager-flush invariant of Push). `count` may be less than granted.
+  Status CommitTuples(uint32_t count);
+
   /// Transmits an externally staged segment (replicate flows stage a
   /// segment once on the source and fan it out over several channels). The
   /// buffer must have SegmentFooter space behind `payload_capacity` bytes;
@@ -144,6 +162,10 @@ class ChannelSource {
   rdma::CompletionQueue* send_cq_ = nullptr;
   VirtualClock* const clock_;
   const net::SimConfig* config_;
+  /// Virtual cost of pushing one tuple (fixed cost + copy cost), rounded
+  /// once at construction so the hot path charges a precomputed integer
+  /// instead of doing floating-point math per tuple.
+  SimTime tuple_push_cost_ns_ = 0;
 
   // Source-side staging ring (registered memory on the source node).
   rdma::MemoryRegion* staging_mr_ = nullptr;

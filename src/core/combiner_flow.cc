@@ -65,7 +65,7 @@ CombinerFlowState::CombinerFlowState(CombinerFlowSpec spec,
 
   const uint32_t n = num_sources();
   const uint32_t m = num_targets();
-  target_gates_ = std::make_unique<RingSync[]>(m);
+  target_gates_ = std::make_unique<ReadyGate[]>(m);
   channels_.resize(static_cast<size_t>(n) * m);
   const uint32_t tuple_size =
       static_cast<uint32_t>(spec_.schema.tuple_size());
@@ -86,7 +86,11 @@ CombinerFlowState::CombinerFlowState(CombinerFlowSpec spec,
 
 CombinerSource::CombinerSource(std::shared_ptr<CombinerFlowState> state,
                                uint32_t source_index)
-    : state_(std::move(state)), source_index_(source_index) {
+    : state_(std::move(state)),
+      source_index_(source_index),
+      tuple_size_(
+          static_cast<uint32_t>(state_->spec().schema.tuple_size())),
+      target_mod_(state_->num_targets()) {
   DFI_CHECK_LT(source_index_, state_->num_sources());
   rdma::RdmaContext* ctx =
       state_->env()->context(state_->source_node(source_index_));
@@ -102,15 +106,13 @@ Status CombinerSource::Push(const void* tuple) {
   if (!spec.global_aggregate && state_->num_targets() > 1) {
     const TupleView view(static_cast<const uint8_t*>(tuple), &spec.schema);
     target = static_cast<uint32_t>(
-        HashU64(ReadKeyAsU64(view, spec.group_by_index)) %
-        state_->num_targets());
+        target_mod_.Mod(HashU64(ReadKeyAsU64(view, spec.group_by_index))));
   } else if (spec.global_aggregate && state_->num_targets() > 1) {
     // Spread globally-aggregated tuples round-robin; targets hold partial
     // aggregates that the application combines.
     target = static_cast<uint32_t>(rr_++ % state_->num_targets());
   }
-  return channels_[target]->Push(
-      tuple, static_cast<uint32_t>(spec.schema.tuple_size()));
+  return channels_[target]->Push(tuple, tuple_size_);
 }
 
 Status CombinerSource::Flush() {
@@ -194,43 +196,49 @@ void CombinerTarget::Drain() {
   const Schema& schema = state_->spec().schema;
   const uint32_t tuple_size = static_cast<uint32_t>(schema.tuple_size());
   const uint32_t n = static_cast<uint32_t>(cursors_.size());
-  RingSync* gate = state_->target_gate(target_index_);
+  ReadyGate* gate = state_->target_gate(target_index_);
+  // Fold segments in delivery order off the ready list — O(deliveries),
+  // independent of how many source channels sit idle. Exhaustion is
+  // counted at the release transitions (a released cursor is exhausted iff
+  // the released segment carried end-of-flow), so no O(n) recount is
+  // needed before blocking.
+  uint32_t exhausted = 0;
   int held = -1;
+  auto release = [&](uint32_t idx) {
+    cursors_[idx]->Release();
+    if (cursors_[idx]->exhausted()) ++exhausted;
+  };
   for (;;) {
+    // Capture the gate version before draining so a delivery racing with
+    // the drain is never missed.
     const uint64_t version = gate->version();
-    // Release the segment consumed last round before scanning, so its slot
-    // recycles promptly and its cursor's exhaustion is visible below.
+    // Release the segment consumed last round before continuing, so its
+    // slot recycles promptly.
     if (held >= 0) {
-      cursors_[held]->Release();
+      release(static_cast<uint32_t>(held));
       held = -1;
     }
     bool found = false;
-    for (uint32_t i = 0; i < n && !found; ++i) {
-      const uint32_t idx = (rr_index_ + i) % n;
-      if (cursors_[idx]->exhausted()) continue;
+    uint32_t idx = 0;
+    while (gate->TryDequeue(&idx)) {
+      ChannelTargetCursor& cursor = *cursors_[idx];
+      if (cursor.exhausted()) continue;  // stale entry
       SegmentView view;
-      if (cursors_[idx]->TryConsume(&view)) {
-        clock_.Advance(config_->consume_segment_fixed_ns);
-        for (uint32_t off = 0; off + tuple_size <= view.bytes;
-             off += tuple_size) {
-          clock_.Advance(config_->tuple_consume_fixed_ns);
-          Fold(TupleView(view.payload + off, &schema));
-        }
-        held = static_cast<int>(idx);
-        rr_index_ = (idx + 1) % n;
-        found = true;
-      } else {
+      if (!cursor.TryConsume(&view)) {
         clock_.Advance(config_->consume_poll_ns);
+        continue;
       }
+      clock_.Advance(config_->consume_segment_fixed_ns);
+      for (uint32_t off = 0; off + tuple_size <= view.bytes;
+           off += tuple_size) {
+        clock_.Advance(config_->tuple_consume_fixed_ns);
+        Fold(TupleView(view.payload + off, &schema));
+      }
+      held = static_cast<int>(idx);
+      found = true;
+      break;
     }
     if (found) continue;
-    // Recount exhaustion *after* the scan: a TryConsume above may have
-    // flipped a cursor to exhausted, and waiting on the gate now would
-    // sleep forever (no further notifications arrive once sources closed).
-    uint32_t exhausted = 0;
-    for (uint32_t i = 0; i < n; ++i) {
-      if (cursors_[i]->exhausted()) ++exhausted;
-    }
     if (exhausted == n) break;
     gate->WaitChanged(version);
   }

@@ -60,7 +60,7 @@ class CombinerFlowState : public FlowStateBase {
   ChannelShared* channel(uint32_t source, uint32_t target) {
     return channels_[source * num_targets() + target].get();
   }
-  RingSync* target_gate(uint32_t target) { return &target_gates_[target]; }
+  ReadyGate* target_gate(uint32_t target) { return &target_gates_[target]; }
   net::NodeId source_node(uint32_t source) const {
     return source_nodes_[source];
   }
@@ -71,7 +71,7 @@ class CombinerFlowState : public FlowStateBase {
   std::vector<net::NodeId> source_nodes_;
   std::vector<net::NodeId> target_nodes_;
   std::vector<std::unique_ptr<ChannelShared>> channels_;
-  std::unique_ptr<RingSync[]> target_gates_;
+  std::unique_ptr<ReadyGate[]> target_gates_;
 };
 
 /// Source handle of a combiner flow: pushes tuples, routed by group key to
@@ -94,6 +94,8 @@ class CombinerSource {
  private:
   std::shared_ptr<CombinerFlowState> state_;
   const uint32_t source_index_;
+  const uint32_t tuple_size_;  // cached; immutable per flow
+  const FastDivisor target_mod_;  // magic-number `% num_targets`
   VirtualClock clock_;
   std::vector<std::unique_ptr<ChannelSource>> channels_;
   uint64_t rr_ = 0;  // round-robin spread for global aggregates
@@ -135,7 +137,6 @@ class CombinerTarget {
   const net::SimConfig* config_;
   VirtualClock clock_;
   std::vector<std::unique_ptr<ChannelTargetCursor>> cursors_;
-  uint32_t rr_index_ = 0;
   bool drained_ = false;
   uint64_t tuples_aggregated_ = 0;
   std::unordered_map<uint64_t, std::vector<double>> groups_;

@@ -44,7 +44,7 @@ ReplicateFlowState::ReplicateFlowState(ReplicateFlowSpec spec,
                              "transport in this implementation";
     payload_capacity_ =
         ChannelShared::PayloadCapacityFor(spec_.options, tuple_size);
-    target_gates_ = std::make_unique<RingSync[]>(num_targets());
+    target_gates_ = std::make_unique<ReadyGate[]>(num_targets());
     channels_.resize(static_cast<size_t>(num_sources()) * num_targets());
     for (uint32_t s = 0; s < num_sources(); ++s) {
       for (uint32_t t = 0; t < num_targets(); ++t) {
@@ -377,37 +377,39 @@ ConsumeResult ReplicateTarget::ConsumeSegment(SegmentView* out) {
 }
 
 ConsumeResult ReplicateTarget::ConsumeNaive(SegmentView* out) {
-  RingSync* gate = state_->target_gate(target_index_);
+  ReadyGate* gate = state_->target_gate(target_index_);
   const uint32_t n = static_cast<uint32_t>(cursors_.size());
+  // Serve segments in delivery order off the ready list — O(deliveries)
+  // instead of an O(num_sources) ring scan per segment. Exhaustion is
+  // counted at release transitions, so flow end needs no recount.
   for (;;) {
     const uint64_t version = gate->version();
     if (held_cursor_ >= 0) {
-      cursors_[held_cursor_]->Release();
+      ChannelTargetCursor& held = *cursors_[held_cursor_];
+      held.Release();
+      if (held.exhausted()) ++exhausted_count_;
       held_cursor_ = -1;
     }
-    uint32_t exhausted = 0;
-    for (uint32_t i = 0; i < n; ++i) {
-      const uint32_t idx = (rr_index_ + i) % n;
-      if (cursors_[idx]->exhausted()) {
-        ++exhausted;
+    uint32_t idx = 0;
+    while (gate->TryDequeue(&idx)) {
+      ChannelTargetCursor& cursor = *cursors_[idx];
+      if (cursor.exhausted()) continue;  // stale entry
+      SegmentView view;
+      if (!cursor.TryConsume(&view)) {
+        clock_.Advance(config_->consume_poll_ns);
         continue;
       }
-      SegmentView view;
-      if (cursors_[idx]->TryConsume(&view)) {
-        clock_.Advance(config_->consume_segment_fixed_ns);
-        if (view.bytes == 0) {
-          cursors_[idx]->Release();  // pure end marker
-          if (cursors_[idx]->exhausted()) ++exhausted;
-          continue;
-        }
-        rr_index_ = (idx + 1) % n;
-        held_cursor_ = static_cast<int>(idx);
-        *out = view;
-        return ConsumeResult::kOk;
+      clock_.Advance(config_->consume_segment_fixed_ns);
+      if (view.bytes == 0) {
+        cursor.Release();  // pure end marker
+        if (cursor.exhausted()) ++exhausted_count_;
+        continue;
       }
-      clock_.Advance(config_->consume_poll_ns);
+      held_cursor_ = static_cast<int>(idx);
+      *out = view;
+      return ConsumeResult::kOk;
     }
-    if (exhausted == n) return ConsumeResult::kFlowEnd;
+    if (exhausted_count_ == n) return ConsumeResult::kFlowEnd;
     gate->WaitChanged(version);
   }
 }

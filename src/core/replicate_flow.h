@@ -60,7 +60,7 @@ class ReplicateFlowState : public FlowStateBase {
   ChannelShared* channel(uint32_t source, uint32_t target) {
     return channels_[source * num_targets() + target].get();
   }
-  RingSync* target_gate(uint32_t target) { return &target_gates_[target]; }
+  ReadyGate* target_gate(uint32_t target) { return &target_gates_[target]; }
   net::NodeId source_node(uint32_t source) const {
     return source_nodes_[source];
   }
@@ -116,7 +116,7 @@ class ReplicateFlowState : public FlowStateBase {
 
   // Naive transport.
   std::vector<std::unique_ptr<ChannelShared>> channels_;
-  std::unique_ptr<RingSync[]> target_gates_;
+  std::unique_ptr<ReadyGate[]> target_gates_;
 
   // Multicast transport.
   net::MulticastGroupId group_ = 0;
@@ -229,7 +229,7 @@ class ReplicateTarget {
 
   // Naive transport.
   std::vector<std::unique_ptr<ChannelTargetCursor>> cursors_;
-  uint32_t rr_index_ = 0;
+  uint32_t exhausted_count_ = 0;  // cursors that reached end-of-flow
   int held_cursor_ = -1;
 
   // Multicast transport.

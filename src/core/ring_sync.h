@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 
 namespace dfi {
@@ -60,6 +61,76 @@ class RingSync {
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  uint64_t version_ = 0;
+};
+
+/// Per-target ready-channel gate: RingSync-style versioned wakeups plus a
+/// multi-producer queue of channel indices with pending deliveries.
+///
+/// Every channel of one target thread shares the target's gate. A source
+/// enqueues its channel index right after delivering a segment (one entry
+/// per delivered segment), so the target pops exactly the channels that
+/// have data instead of round-robin scanning every ring: consume cost is
+/// O(active channels), not O(num_sources). On real hardware the equivalent
+/// is polling a small shared completion/doorbell area instead of n footers.
+///
+/// Entry/segment accounting: deliveries and entries are 1:1, and a target
+/// consumes segments of one channel in ring order, so every successful
+/// TryConsume can be matched to one popped entry. Pops that find nothing
+/// consumable (e.g. an end marker already recycled) are skipped by the
+/// consumer.
+class ReadyGate {
+ public:
+  ReadyGate() = default;
+  ReadyGate(const ReadyGate&) = delete;
+  ReadyGate& operator=(const ReadyGate&) = delete;
+
+  /// Announces one delivered segment on `channel_index` and wakes the
+  /// target.
+  void Enqueue(uint32_t channel_index) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ready_.push_back(channel_index);
+      ++version_;
+    }
+    cv_.notify_all();
+  }
+
+  /// Pops the oldest announced channel index; false when none is pending.
+  bool TryDequeue(uint32_t* channel_index) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ready_.empty()) return false;
+    *channel_index = ready_.front();
+    ready_.pop_front();
+    return true;
+  }
+
+  /// Version-only wakeup (no ready entry), e.g. for state changes that are
+  /// not segment deliveries.
+  void Notify() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++version_;
+    }
+    cv_.notify_all();
+  }
+
+  /// Lost-wakeup-safe two-phase waiting, as in RingSync: capture the
+  /// version *before* draining the queue; WaitChanged blocks until any
+  /// Enqueue/Notify issued after the capture.
+  uint64_t version() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return version_;
+  }
+  void WaitChanged(uint64_t seen) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return version_ != seen; });
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<uint32_t> ready_;
   uint64_t version_ = 0;
 };
 

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <type_traits>
+#include <utility>
 
 #include "common/hash.h"
 #include "common/logging.h"
@@ -15,12 +17,11 @@ namespace dfi {
 /// Used e.g. to realize range partitioning or radix-hash partitioning.
 using RoutingFn = std::function<uint32_t(TupleView, uint32_t num_targets)>;
 
-/// Reads a tuple's key field as an unsigned 64-bit value regardless of the
-/// field's declared width (zero-extended).
-inline uint64_t ReadKeyAsU64(TupleView tuple, size_t field_index) {
-  const Schema& schema = *tuple.schema();
-  const size_t size = schema.field_size(field_index);
-  const uint8_t* p = tuple.FieldPtr(field_index);
+/// Reads a packed key of `size` bytes as an unsigned 64-bit value
+/// (zero-extended); wide (kChar) keys are hashed. Split out of
+/// ReadKeyAsU64 so batch partitioners can hoist the offset/size lookup out
+/// of their inner loop.
+inline uint64_t ReadKeyBytes(const uint8_t* p, size_t size) {
   switch (size) {
     case 1:
       return *p;
@@ -45,26 +46,125 @@ inline uint64_t ReadKeyAsU64(TupleView tuple, size_t field_index) {
   }
 }
 
-/// DFI's default routing: hash of the shuffle key modulo target count
-/// (paper section 3.2, option (1)).
-inline RoutingFn KeyHashRouting(size_t key_field_index) {
-  return [key_field_index](TupleView tuple, uint32_t num_targets) {
-    return static_cast<uint32_t>(
-        HashU64(ReadKeyAsU64(tuple, key_field_index)) % num_targets);
+/// Reads a tuple's key field as an unsigned 64-bit value regardless of the
+/// field's declared width (zero-extended).
+inline uint64_t ReadKeyAsU64(TupleView tuple, size_t field_index) {
+  const Schema& schema = *tuple.schema();
+  return ReadKeyBytes(tuple.FieldPtr(field_index),
+                      schema.field_size(field_index));
+}
+
+/// Routing strategy of a shuffle flow. The two builtin partitioners
+/// (key-hash and radix) are carried *declaratively* so sources can run them
+/// devirtualized over whole batches (one histogram+scatter loop per batch
+/// instead of one std::function dispatch per tuple); arbitrary RoutingFns
+/// are wrapped as kGeneric and dispatched per tuple.
+class RoutingSpec {
+ public:
+  enum class Kind : uint8_t {
+    kUnset,    ///< flow default: key-hash on ShuffleFlowSpec::shuffle_key_index
+    kKeyHash,  ///< HashU64(key) % num_targets (paper section 3.2, option (1))
+    kRadix,    ///< radix bits of HashU64(key) (paper section 4.3.1)
+    kGeneric,  ///< opaque user RoutingFn
   };
+
+  RoutingSpec() = default;
+  /// Implicit wrap of a custom function (or any callable convertible to
+  /// one), so `spec.routing = lambda` keeps working at every existing call
+  /// site.
+  template <typename F,
+            typename = std::enable_if_t<
+                std::is_convertible_v<F, RoutingFn> &&
+                !std::is_same_v<std::decay_t<F>, RoutingSpec>>>
+  RoutingSpec(F&& fn)  // NOLINT(google-explicit-constructor)
+      : fn_(std::forward<F>(fn)) {
+    kind_ = fn_ ? Kind::kGeneric : Kind::kUnset;
+  }
+
+  static RoutingSpec KeyHash(size_t key_field_index) {
+    RoutingSpec spec;
+    spec.kind_ = Kind::kKeyHash;
+    spec.key_field_index_ = key_field_index;
+    return spec;
+  }
+
+  static RoutingSpec Radix(size_t key_field_index, uint32_t shift,
+                           uint32_t bits) {
+    RoutingSpec spec;
+    spec.kind_ = Kind::kRadix;
+    spec.key_field_index_ = key_field_index;
+    spec.shift_ = shift;
+    spec.bits_ = bits;
+    return spec;
+  }
+
+  Kind kind() const { return kind_; }
+  bool set() const { return kind_ != Kind::kUnset; }
+  size_t key_field_index() const { return key_field_index_; }
+  uint32_t shift() const { return shift_; }
+  uint32_t bits() const { return bits_; }
+  /// The wrapped function; only valid for kGeneric.
+  const RoutingFn& generic_fn() const { return fn_; }
+
+  /// Materializes a per-tuple callable for any kind — the tuple-at-a-time
+  /// path and the batch fallback for kGeneric use this.
+  RoutingFn MakeFn() const {
+    switch (kind_) {
+      case Kind::kKeyHash: {
+        const size_t key = key_field_index_;
+        // The modulo divisor is loop-invariant in practice (one flow, one
+        // target count), so memoize its magic number; results are
+        // bit-identical to `% num_targets`.
+        return [key, mod = FastDivisor()](TupleView tuple,
+                                          uint32_t num_targets) mutable {
+          if (mod.divisor() != num_targets) mod = FastDivisor(num_targets);
+          return static_cast<uint32_t>(
+              mod.Mod(HashU64(ReadKeyAsU64(tuple, key))));
+        };
+      }
+      case Kind::kRadix: {
+        const size_t key = key_field_index_;
+        const uint32_t shift = shift_;
+        const uint32_t bits = bits_;
+        return [key, shift, bits](TupleView tuple, uint32_t num_targets) {
+          const uint32_t part =
+              RadixBits(ReadKeyAsU64(tuple, key), shift, bits);
+          DFI_DCHECK(part < num_targets);
+          (void)num_targets;
+          return part;
+        };
+      }
+      case Kind::kGeneric:
+        return fn_;
+      case Kind::kUnset:
+        break;
+    }
+    return nullptr;
+  }
+
+ private:
+  Kind kind_ = Kind::kUnset;
+  size_t key_field_index_ = 0;
+  uint32_t shift_ = 0;
+  uint32_t bits_ = 0;
+  RoutingFn fn_;
+};
+
+/// DFI's default routing: hash of the shuffle key modulo target count
+/// (paper section 3.2, option (1)). Recognized by the batch push path.
+inline RoutingSpec KeyHashRouting(size_t key_field_index) {
+  return RoutingSpec::KeyHash(key_field_index);
 }
 
 /// Radix-hash partition routing over `bits` bits starting at `shift`
 /// (paper section 4.3.1 — the distributed radix join's routing function).
-inline RoutingFn RadixRouting(size_t key_field_index, uint32_t shift,
-                              uint32_t bits) {
-  return [key_field_index, shift, bits](TupleView tuple,
-                                        uint32_t num_targets) {
-    const uint32_t part =
-        RadixBits(ReadKeyAsU64(tuple, key_field_index), shift, bits);
-    DFI_DCHECK(part < num_targets);
-    return part % num_targets;
-  };
+/// The partition must already lie in [0, num_targets); out-of-range
+/// partitions are a routing-function bug surfaced by the DFI_DCHECK (and by
+/// the range check in ShuffleSource) rather than silently wrapped.
+/// Recognized by the batch push path.
+inline RoutingSpec RadixRouting(size_t key_field_index, uint32_t shift,
+                                uint32_t bits) {
+  return RoutingSpec::Radix(key_field_index, shift, bits);
 }
 
 }  // namespace dfi

@@ -28,8 +28,11 @@ struct ShuffleFlowSpec {
   Schema schema;
   /// Field used by the default key-hash routing.
   size_t shuffle_key_index = 0;
-  /// Optional custom partition function (overrides key routing).
-  RoutingFn routing;
+  /// Optional routing override: either a recognized builtin partitioner
+  /// (KeyHashRouting / RadixRouting, which PushBatch runs devirtualized
+  /// over whole batches) or an arbitrary RoutingFn (assignable directly;
+  /// dispatched per tuple).
+  RoutingSpec routing;
   FlowOptions options;
 };
 
@@ -52,7 +55,7 @@ class ShuffleFlowState : public FlowStateBase {
   ChannelShared* channel(uint32_t source, uint32_t target) {
     return channels_[source * num_targets() + target].get();
   }
-  RingSync* target_gate(uint32_t target) { return &target_gates_[target]; }
+  ReadyGate* target_gate(uint32_t target) { return &target_gates_[target]; }
   net::NodeId source_node(uint32_t source) const {
     return source_nodes_[source];
   }
@@ -68,7 +71,7 @@ class ShuffleFlowState : public FlowStateBase {
   std::vector<net::NodeId> source_nodes_;
   std::vector<net::NodeId> target_nodes_;
   std::vector<std::unique_ptr<ChannelShared>> channels_;
-  std::unique_ptr<RingSync[]> target_gates_;
+  std::unique_ptr<ReadyGate[]> target_gates_;
 };
 
 /// Source handle of a shuffle flow, bound to one worker thread. Obtained
@@ -86,6 +89,16 @@ class ShuffleSource {
   Status Push(const void* tuple);
   Status Push(TupleView tuple) { return Push(tuple.data()); }
 
+  /// Batched push: partitions a run of `count` densely packed tuples and
+  /// scatters them directly into the per-target staging segments in one
+  /// fused sweep over the batch (zero-copy reservations, see
+  /// ChannelSource::ReserveTuples). Builtin partitioners (key-hash, radix)
+  /// run devirtualized — one indirect call per batch instead of one per
+  /// tuple; a custom RoutingFn falls back to per-tuple dispatch for the
+  /// partitioning decision only. Delivers exactly the same per-target
+  /// tuple sequences as calling Push on each tuple in order.
+  Status PushBatch(const void* tuples, size_t count);
+
   /// Pushes with an explicit target (paper section 4.2.1, option (3)).
   Status PushTo(const void* tuple, uint32_t target_index);
 
@@ -100,16 +113,39 @@ class ShuffleSource {
   VirtualClock& clock() { return clock_; }
 
  private:
+  /// Per-target write cursor into an open zero-copy reservation
+  /// (ChannelSource::ReserveTuples), refilled on demand while PushBatch
+  /// sweeps a batch. A pointer pair keeps the per-tuple hot path to one
+  /// compare and one bump; the committed tuple count is recovered as
+  /// (dst - start) / tuple_size at the (rare) refill and tail commits.
+  struct BatchCursor {
+    uint8_t* dst = nullptr;    // next write position
+    uint8_t* end = nullptr;    // reservation end; dst == end forces refill
+    uint8_t* start = nullptr;  // reservation base
+  };
+
+  /// Scatters a contiguous run of `n` tuples to one target (1-target flows
+  /// and explicit-target batches skip partitioning entirely).
+  Status AppendRun(uint32_t target, const uint8_t* run, size_t n);
+
   std::shared_ptr<ShuffleFlowState> state_;
   const uint32_t source_index_;
-  RoutingFn routing_;
+  /// Cached schema().tuple_size(); immutable per flow, so the hot path
+  /// never re-derives it.
+  const uint32_t tuple_size_;
+  RoutingSpec routing_spec_;  // resolved (never kUnset)
+  RoutingFn routing_;         // per-tuple form of routing_spec_
+  FastDivisor target_mod_;    // magic-number `% num_targets`
   VirtualClock clock_;
   std::vector<std::unique_ptr<ChannelSource>> channels_;  // one per target
+  std::vector<BatchCursor> batch_cursors_;  // scratch, one per target
 };
 
 /// Target handle of a shuffle flow, bound to one worker thread. Consumes
-/// tuples (or whole segments, zero-copy) from its private rings, scanning
-/// them round-robin (paper Figure 4: nextRing()).
+/// tuples (or whole segments, zero-copy) from its private rings in
+/// delivery order, popping ready-channel indices from the target gate
+/// (O(active channels) per consume) instead of round-robin scanning every
+/// ring (paper Figure 4's nextRing(), which is O(num_sources)).
 class ShuffleTarget {
  public:
   ShuffleTarget(std::shared_ptr<ShuffleFlowState> state,
@@ -135,12 +171,15 @@ class ShuffleTarget {
   VirtualClock& clock() { return clock_; }
 
  private:
+  /// Releases the held cursor (if any), tracking its exhaustion.
+  void ReleaseHeld();
+
   std::shared_ptr<ShuffleFlowState> state_;
   const uint32_t target_index_;
   const net::SimConfig* config_;
   VirtualClock clock_;
   std::vector<std::unique_ptr<ChannelTargetCursor>> cursors_;  // per source
-  uint32_t rr_index_ = 0;
+  uint32_t exhausted_count_ = 0;  // cursors that reached end-of-flow
   int held_cursor_ = -1;  // cursor whose segment `current_` views
   SegmentView current_;
   uint32_t tuple_offset_ = 0;  // iteration state within current_

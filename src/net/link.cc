@@ -22,18 +22,28 @@ TransferWindow LinkScheduler::Reserve(SimTime ready, uint64_t bytes) {
   busy_time_ += duration;
   total_bytes_ += bytes;
 
-  // First-fit backfill: use the earliest idle gap that fits.
-  for (auto it = gaps_.begin(); it != gaps_.end(); ++it) {
-    const SimTime gap_start = it->first;
-    const SimTime gap_end = it->second;
-    if (gap_end <= ready) continue;  // entirely before readiness
-    const SimTime start = std::max(ready, gap_start);
-    if (start + duration > gap_end) continue;  // does not fit
-    const SimTime end = start + duration;
-    gaps_.erase(it);
-    if (start > gap_start) gaps_.emplace(gap_start, start);
-    if (end < gap_end) gaps_.emplace(end, gap_end);
-    return {start, end};
+  // First-fit backfill: use the earliest idle gap that fits. Skipped
+  // entirely — with identical results — when no gap can fit: every gap
+  // ends below busy_until_, so ready >= busy_until_ rules them all out,
+  // and max_gap_len_ bounds the longest gap from above.
+  if (ready < busy_until_ && duration <= max_gap_len_) {
+    // Gaps wholly before `ready` cannot serve this reservation (though a
+    // lagging thread may still use them later): start the walk at the
+    // first gap ending after `ready` instead of skipping over every stale
+    // gap — with many senders on one link the stale prefix dominates.
+    auto it = gaps_.lower_bound(ready);
+    if (it != gaps_.begin() && std::prev(it)->second > ready) --it;
+    for (; it != gaps_.end(); ++it) {
+      const SimTime gap_start = it->first;
+      const SimTime gap_end = it->second;
+      const SimTime start = std::max(ready, gap_start);
+      if (start + duration > gap_end) continue;  // does not fit
+      const SimTime end = start + duration;
+      gaps_.erase(it);
+      if (start > gap_start) gaps_.emplace(gap_start, start);
+      if (end < gap_end) gaps_.emplace(end, gap_end);
+      return {start, end};
+    }
   }
 
   // Append at the tail, remembering any idle gap created before it.
@@ -41,6 +51,7 @@ TransferWindow LinkScheduler::Reserve(SimTime ready, uint64_t bytes) {
   const SimTime end = start + duration;
   if (start > busy_until_) {
     gaps_.emplace(busy_until_, start);
+    max_gap_len_ = std::max(max_gap_len_, start - busy_until_);
     if (gaps_.size() > kMaxGaps) gaps_.erase(gaps_.begin());
   }
   busy_until_ = end;

@@ -66,7 +66,14 @@ class LinkScheduler {
   uint64_t total_bytes_ = 0;
   /// Idle intervals (start -> end) left behind by out-of-order
   /// reservations, available for backfill. Bounded (oldest dropped).
+  /// Invariant: every gap lies strictly below busy_until_.
   std::map<SimTime, SimTime> gaps_;
+  /// Upper bound on the length of the longest gap in gaps_ (lengths only
+  /// shrink on split/erase, so the bound stays valid without recomputing).
+  /// Lets Reserve skip the first-fit walk outright for transmissions
+  /// longer than any gap — the common case once a link saturates and gaps
+  /// are sub-segment slivers.
+  SimTime max_gap_len_ = 0;
   static constexpr size_t kMaxGaps = 128;
 };
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 namespace dfi {
 namespace {
@@ -39,6 +40,41 @@ TEST(HashTest, RadixBitsExtractsRequestedWidth) {
 
 TEST(HashTest, RadixBitsPartitionsAreStable) {
   EXPECT_EQ(RadixBits(99, 0, 6), RadixBits(99, 0, 6));
+}
+
+TEST(FastDivisorTest, MatchesHardwareDivideExactly) {
+  // Exactness matters: routing contracts assert HashU64(key) % m placement.
+  std::vector<uint64_t> samples = {0, 1, 2, 3, 63, 64, 65, 1000, 1ull << 32,
+                                   (1ull << 32) + 1, UINT64_MAX - 1,
+                                   UINT64_MAX};
+  uint64_t x = 0x243f6a8885a308d3ull;  // deterministic pseudo-random walk
+  for (int i = 0; i < 512; ++i) {
+    x = HashU64(x + i);
+    samples.push_back(x);
+  }
+  for (uint32_t d = 1; d <= 300; ++d) {
+    const FastDivisor fd(d);
+    for (uint64_t n : samples) {
+      ASSERT_EQ(fd.Div(n), n / d) << "n=" << n << " d=" << d;
+      ASSERT_EQ(fd.Mod(n), n % d) << "n=" << n << " d=" << d;
+    }
+    // Exact multiples and their neighbours are the boundary cases of the
+    // magic-number rounding.
+    for (uint64_t q : {uint64_t{1}, uint64_t{12345}, UINT64_MAX / d}) {
+      for (int64_t delta = -2; delta <= 2; ++delta) {
+        const uint64_t n = q * d + static_cast<uint64_t>(delta);
+        ASSERT_EQ(fd.Div(n), n / d) << "n=" << n << " d=" << d;
+        ASSERT_EQ(fd.Mod(n), n % d) << "n=" << n << " d=" << d;
+      }
+    }
+  }
+  for (uint32_t d : {1u << 10, 3u << 20, UINT32_MAX, UINT32_MAX - 1}) {
+    const FastDivisor fd(d);
+    for (uint64_t n : samples) {
+      ASSERT_EQ(fd.Div(n), n / d) << "n=" << n << " d=" << d;
+      ASSERT_EQ(fd.Mod(n), n % d) << "n=" << n << " d=" << d;
+    }
+  }
 }
 
 TEST(HashTest, RadixDifferentShiftsIndependent) {
