@@ -2,6 +2,7 @@
 #define DFI_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -52,17 +53,28 @@ inline std::string Num(double v) {
   return buf;
 }
 
+/// Seed shared by all benches, settable with `--seed <n>` (defaults to the
+/// classic 7). Benches that randomize workloads or fault injection read it
+/// here so chaos runs can be replayed exactly.
+inline uint64_t& BenchSeed() {
+  static uint64_t seed = 7;
+  return seed;
+}
+
 /// Shared bench entry point: parses the command line (`--json <path>`
-/// emits the printed tables as machine-readable JSON for CI) and runs the
-/// benchmark body.
+/// emits the printed tables as machine-readable JSON for CI; `--seed <n>`
+/// replays a run deterministically) and runs the benchmark body.
 inline int BenchMain(int argc, char** argv, void (*run)()) {
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--seed" && i + 1 < argc) {
+      BenchSeed() = std::strtoull(argv[++i], nullptr, 10);
     } else {
-      std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--json <path>] [--seed <n>]\n",
+                   argv[0]);
       return 2;
     }
   }

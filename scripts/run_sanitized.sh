@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Sanitized CI job for the fault-injection paths: builds everything with
+# -DDFI_SANITIZE=<address|undefined> and runs the full test suite (tier-1
+# plus the chaos suite) and the chaos consensus bench. Zero reports is the
+# acceptance bar — teardown/poison code is where lifetime bugs hide.
+set -euo pipefail
+
+KIND="${1:-address}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build-$KIND"
+
+cmake -B "$BUILD" -S "$ROOT" -DDFI_SANITIZE="$KIND" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD" -j "$(nproc)"
+
+# Make sanitizer findings fatal and loud.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1:detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+
+ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+"$BUILD/bench/chaos_consensus" --seed "${DFI_CHAOS_SEED:-7}"
+echo "sanitized ($KIND) tier-1 + chaos suite passed"

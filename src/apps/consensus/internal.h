@@ -48,16 +48,23 @@ class TupleDrain {
     return true;
   }
 
-  /// The flow ended and everything was drained.
+  /// The flow ended (cleanly or by failure) and everything was drained.
   bool ended() const { return ended_ && buffer_.empty(); }
 
+  /// The flow ended with kError (peer failure / abort) instead of a clean
+  /// flow end. Chaos-aware consumers check this to fail over.
+  bool errored() const { return errored_; }
+
   /// Blocking drain to the end of the flow (discarding messages); used at
-  /// teardown so sources never block on full rings.
+  /// teardown so sources never block on full rings. A failed flow (kError)
+  /// counts as ended — erroring calls never become productive again.
   void DrainToEnd() {
     SegmentView seg;
     while (!ended_) {
-      if (target_->ConsumeSegment(&seg) == ConsumeResult::kFlowEnd) {
+      const ConsumeResult r = target_->ConsumeSegment(&seg);
+      if (r == ConsumeResult::kFlowEnd || r == ConsumeResult::kError) {
         ended_ = true;
+        errored_ = errored_ || r == ConsumeResult::kError;
         break;
       }
     }
@@ -74,6 +81,11 @@ class TupleDrain {
         ended_ = true;
         return;
       }
+      if (r == ConsumeResult::kError) {
+        ended_ = true;
+        errored_ = true;
+        return;
+      }
       DFI_CHECK_EQ(seg.bytes % sizeof(T), 0u);
       for (uint32_t off = 0; off + sizeof(T) <= seg.bytes;
            off += sizeof(T)) {
@@ -88,6 +100,7 @@ class TupleDrain {
   ShuffleTarget* target_;
   std::deque<std::pair<T, SimTime>> buffer_;
   bool ended_ = false;
+  bool errored_ = false;
 };
 
 /// Joins two endpoint clocks (a worker thread driving both a source and a

@@ -6,6 +6,17 @@
 
 namespace dfi {
 
+/// Stateless 64-bit mixer (SplitMix64 finalizer). Hashing a (seed, key)
+/// pair gives a decision stream that depends only on the key — independent
+/// of thread interleaving — which is what deterministic fault injection
+/// needs (see net/fault_plan.h).
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 /// Small, fast, seedable PRNG (xorshift128+). Used for workload generation,
 /// backoff jitter and loss injection; deterministic for a given seed so
 /// benchmark results are reproducible.

@@ -24,6 +24,12 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kPeerFailed:
+      return "PeerFailed";
+    case StatusCode::kAborted:
+      return "Aborted";
   }
   return "Unknown";
 }

@@ -22,6 +22,9 @@ enum class StatusCode : uint8_t {
   kUnavailable,
   kInternal,
   kUnimplemented,
+  kDeadlineExceeded,
+  kPeerFailed,
+  kAborted,
 };
 
 /// Returns a stable human-readable name ("Ok", "InvalidArgument", ...).
@@ -68,6 +71,15 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status PeerFailed(std::string msg) {
+    return Status(StatusCode::kPeerFailed, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

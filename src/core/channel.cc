@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "core/deadline.h"
 
 namespace dfi {
 namespace {
@@ -31,7 +32,8 @@ ChannelShared::ChannelShared(rdma::RdmaContext* target_ctx,
     : options_(options),
       tuple_size_(tuple_size),
       source_index_(source_index),
-      target_node_(target_ctx->node_id()) {
+      target_node_(target_ctx->node_id()),
+      fault_plan_(&target_ctx->env().fabric().fault_plan()) {
   const uint32_t capacity = PayloadCapacityFor(options, tuple_size);
   const uint32_t num_segments = options.segments_per_ring;
   DFI_CHECK_GT(num_segments, 1u) << "a ring needs at least 2 segments";
@@ -58,6 +60,23 @@ void ChannelShared::IncrementConsumed() {
       .fetch_add(1, std::memory_order_acq_rel);
 }
 
+void ChannelShared::Poison(const Status& cause) {
+  {
+    std::lock_guard<std::mutex> lock(poison_mu_);
+    if (poisoned_.load(std::memory_order_relaxed)) return;  // first cause wins
+    poison_cause_ = cause.ok() ? Status::Aborted("flow aborted") : cause;
+    poisoned_.store(true, std::memory_order_release);
+  }
+  sync_.Notify();
+  if (target_gate_ != nullptr) target_gate_->Notify();
+}
+
+Status ChannelShared::poison_status() const {
+  if (!poisoned()) return Status::OK();
+  std::lock_guard<std::mutex> lock(poison_mu_);
+  return poison_cause_;
+}
+
 // ---------------------------------------------------------------------------
 // ChannelSource
 // ---------------------------------------------------------------------------
@@ -70,6 +89,7 @@ ChannelSource::ChannelSource(ChannelShared* shared,
       config_->tuple_push_fixed_ns +
       static_cast<SimTime>(std::llround(shared_->tuple_size() *
                                         config_->tuple_copy_ns_per_byte));
+  shared_->set_source_node(source_ctx->node_id());
   send_cq_ = source_ctx->CreateCq();
   qp_ = source_ctx->CreateRcQp(shared_->target_node(), send_cq_);
   const bool latency =
@@ -185,8 +205,43 @@ Status ChannelSource::Flush() {
   return TransmitSegment(payload, fill, /*end=*/false);
 }
 
+void ChannelSource::Abort(const Status& cause) {
+  const bool was_poisoned = shared_->poisoned();
+  shared_->Poison(cause);
+  closed_ = true;
+  if (was_poisoned) return;
+  // Best-effort poisoned footer publication into the slot the target polls
+  // next (its cursor trails our send sequence in ring order), so a remote
+  // footer poller discovers the teardown through the data path itself. If
+  // the write fails — e.g. our own node is the one the fault plan crashed —
+  // the shared poison state above already did the job.
+  const SegmentRing& ring = shared_->ring();
+  const bool latency =
+      shared_->options().optimization == FlowOptimization::kLatency;
+  const uint64_t seq = latency ? sent_tuples_ : send_seq_;
+  const uint32_t idx = static_cast<uint32_t>(seq % ring.num_segments());
+  uint8_t poison_flag = kFlagPoisoned;
+  rdma::WriteDesc desc;
+  desc.local = &poison_flag;
+  desc.remote = shared_->ring_mr()->RefAt(ring.footer_offset(idx) +
+                                          sizeof(SegmentFooter) - 1);
+  desc.length = 1;
+  desc.wr_id = seq;
+  desc.signaled = false;
+  desc.inlined = true;
+  (void)qp_->PostWrite(desc, clock_);
+  shared_->sync().Notify();
+  if (ReadyGate* gate = shared_->target_gate(); gate != nullptr) {
+    gate->Notify();
+  }
+}
+
 Status ChannelSource::Close() {
   if (closed_) return Status::OK();
+  if (shared_->poisoned()) {
+    closed_ = true;
+    return shared_->poison_status();
+  }
   if (shared_->options().optimization == FlowOptimization::kLatency) {
     DFI_RETURN_IF_ERROR(
         TransmitSegment(staging_.payload(0), 0, /*end=*/true));
@@ -200,64 +255,112 @@ Status ChannelSource::Close() {
   return Status::OK();
 }
 
-void ChannelSource::EnsureRemoteWritable(uint32_t idx) {
+Status ChannelSource::EnsureRemoteWritable(uint32_t idx) {
   const SegmentRing& ring = shared_->ring();
   if (ring.LoadFlags(idx) == kFlagWritable) {
     // Fast path: the pipelined footer prefetch (issued together with the
     // previous write of this ring) already told us the slot is free.
-    return;
+    return Status::OK();
   }
   // Slow path: the remote ring is full. On hardware the source polls the
-  // footer with RDMA reads and random backoff; here the thread sleeps and
-  // the virtual cost is charged from the footer's free timestamp plus one
-  // discovering read.
-  shared_->sync().Wait(
-      [&] { return ring.LoadFlags(idx) == kFlagWritable; });
+  // footer with RDMA reads and capped exponential backoff; here the thread
+  // sleeps in bounded slices while DeadlineWait keeps the virtual backoff
+  // ledger. A successful wait charges from the footer's free timestamp as
+  // before; teardown, a dead consumer, or the flow deadline end the wait
+  // with an error instead of hanging forever.
+  DeadlineWait wait(shared_->options(), clock_);
+  RingSync& sync = shared_->sync();
+  for (;;) {
+    const uint64_t seen = sync.version();
+    if (ring.LoadFlags(idx) == kFlagWritable) break;
+    if (shared_->poisoned()) {
+      wait.Commit();
+      return shared_->poison_status();
+    }
+    if (Status peer = qp_->CheckConnected(wait.ProvisionalNow());
+        !peer.ok()) {
+      wait.Commit();
+      return peer;
+    }
+    if (!wait.Tick()) {
+      wait.Commit();
+      return Status::DeadlineExceeded(
+          "remote ring full: slot " + std::to_string(idx) +
+          " not writable within " +
+          std::to_string(shared_->options().block_deadline_ns) + "ns");
+    }
+    sync.WaitChangedFor(seen, DeadlineWait::kRealSlice);
+  }
   clock_->AdvanceTo(ring.footer(idx)->arrival_sim_time);
   rdma::ReadDesc read;
   read.local = scratch_footer_;
   read.remote = shared_->ring_mr()->RefAt(ring.footer_offset(idx));
   read.length = sizeof(SegmentFooter);
   auto timing = qp_->PostRead(read, clock_);
-  DFI_CHECK(timing.ok()) << timing.status();
+  if (!timing.ok()) return timing.status();
   clock_->AdvanceTo(timing->arrival);
   ++footer_reads_;
+  return Status::OK();
 }
 
-void ChannelSource::EnsureCredit() {
+Status ChannelSource::EnsureCredit() {
   const uint32_t slots = shared_->ring().num_segments();
   const uint64_t threshold = std::max<uint64_t>(1, slots / 4);
   uint64_t avail = slots - (sent_tuples_ - cached_consumed_);
-  if (avail > threshold) return;
+  if (avail > threshold) return Status::OK();
 
   // Running low: refresh the cached copy of the remote credit counter with
   // an RDMA read (paper section 5.3).
-  auto refresh = [&] {
+  auto refresh = [&]() -> Status {
     rdma::ReadDesc read;
     read.local = scratch_footer_;
     read.remote = shared_->credit_ref();
     read.length = sizeof(uint64_t);
     auto timing = qp_->PostRead(read, clock_);
-    DFI_CHECK(timing.ok()) << timing.status();
+    if (!timing.ok()) return timing.status();
     cached_consumed_ = shared_->LoadConsumed();
     clock_->AdvanceTo(timing->arrival);
+    return Status::OK();
   };
-  refresh();
+  DFI_RETURN_IF_ERROR(refresh());
   avail = slots - (sent_tuples_ - cached_consumed_);
+
+  DeadlineWait wait(shared_->options(), clock_);
+  RingSync& sync = shared_->sync();
   while (avail == 0) {
-    const uint64_t seen = cached_consumed_;
-    shared_->sync().Wait([&] { return shared_->LoadConsumed() > seen; });
-    clock_->AdvanceTo(shared_
-                          ->slot_free_time(static_cast<uint32_t>(
-                              sent_tuples_ % slots))
-                          .load(std::memory_order_acquire));
-    refresh();
-    avail = slots - (sent_tuples_ - cached_consumed_);
+    const uint64_t seen = sync.version();
+    if (shared_->LoadConsumed() > cached_consumed_) {
+      clock_->AdvanceTo(shared_
+                            ->slot_free_time(static_cast<uint32_t>(
+                                sent_tuples_ % slots))
+                            .load(std::memory_order_acquire));
+      DFI_RETURN_IF_ERROR(refresh());
+      avail = slots - (sent_tuples_ - cached_consumed_);
+      continue;
+    }
+    if (shared_->poisoned()) {
+      wait.Commit();
+      return shared_->poison_status();
+    }
+    if (Status peer = qp_->CheckConnected(wait.ProvisionalNow());
+        !peer.ok()) {
+      wait.Commit();
+      return peer;
+    }
+    if (!wait.Tick()) {
+      wait.Commit();
+      return Status::DeadlineExceeded(
+          "credit refresh: no credit within " +
+          std::to_string(shared_->options().block_deadline_ns) + "ns");
+    }
+    sync.WaitChangedFor(seen, DeadlineWait::kRealSlice);
   }
+  return Status::OK();
 }
 
 Status ChannelSource::TransmitSegment(const uint8_t* payload, uint32_t fill,
                                       bool end) {
+  if (shared_->poisoned()) return shared_->poison_status();
   const SegmentRing& ring = shared_->ring();
   const bool latency =
       shared_->options().optimization == FlowOptimization::kLatency;
@@ -269,9 +372,9 @@ Status ChannelSource::TransmitSegment(const uint8_t* payload, uint32_t fill,
   const uint32_t idx = static_cast<uint32_t>(seq % ring.num_segments());
 
   if (latency) {
-    EnsureCredit();
+    DFI_RETURN_IF_ERROR(EnsureCredit());
   } else {
-    EnsureRemoteWritable(idx);
+    DFI_RETURN_IF_ERROR(EnsureRemoteWritable(idx));
   }
 
   // Selective signaling: request a completion only when the source ring
@@ -329,7 +432,7 @@ Status ChannelSource::TransmitSegment(const uint8_t* payload, uint32_t fill,
       body.length = fill;
       body.wr_id = seq;
       auto t = qp_->PostWrite(body, clock_);
-      DFI_CHECK(t.ok()) << t.status();
+      if (!t.ok()) return t.status();
     }
     const bool inlined = sizeof(SegmentFooter) <= config_->max_inline_bytes;
     rdma::OpTiming t =
@@ -366,7 +469,7 @@ Status ChannelSource::TransmitSegment(const uint8_t* payload, uint32_t fill,
     prefetch.remote = shared_->ring_mr()->RefAt(ring.footer_offset(next_idx));
     prefetch.length = sizeof(SegmentFooter);
     auto t = qp_->PostRead(prefetch, clock_);
-    DFI_CHECK(t.ok()) << t.status();
+    if (!t.ok()) return t.status();
     ++footer_reads_;
   }
   ++send_seq_;
@@ -388,6 +491,12 @@ bool ChannelTargetCursor::TryConsume(SegmentView* view) {
   const uint32_t idx = static_cast<uint32_t>(
       consume_seq_ % ring.num_segments());
   const uint8_t flags = ring.LoadFlags(idx);
+  if ((flags & kFlagPoisoned) != 0) {
+    // The source published a poisoned footer (Abort mid-flow); latch the
+    // teardown so the target's consume loop surfaces kError.
+    shared_->Poison(Status::Aborted("peer aborted flow"));
+    return false;
+  }
   if ((flags & kFlagConsumable) == 0) return false;
 
   const SegmentFooter* footer = ring.footer(idx);

@@ -21,6 +21,7 @@ enum class ConsumeResult : uint8_t {
   kOk,
   kFlowEnd,  ///< all sources closed and all data drained (paper: FLOW_END)
   kGap,      ///< ordered replicate flow with app-handled gaps: sequence gap
+  kError,    ///< flow failed (deadline, peer crash, abort); see last_status()
 };
 
 /// Zero-copy view of one consumable segment returned to the target. Valid
@@ -80,17 +81,42 @@ class ChannelShared {
     return slot_free_time_[slot];
   }
 
+  /// Fault plan of the fabric this channel lives on (never null).
+  const net::FaultPlan* fault_plan() const { return fault_plan_; }
+
+  /// Records which node the source half runs on (set when the source
+  /// attaches); lets a blocked target ask the fault plan about its peer.
+  void set_source_node(net::NodeId node) {
+    source_node_.store(node, std::memory_order_relaxed);
+  }
+  net::NodeId source_node() const {
+    return source_node_.load(std::memory_order_relaxed);
+  }
+
+  /// Tears the channel down: both halves observe poisoned() on their next
+  /// poll and blocked threads are woken. The first cause wins; subsequent
+  /// calls are no-ops. Safe from any thread.
+  void Poison(const Status& cause);
+  bool poisoned() const { return poisoned_.load(std::memory_order_acquire); }
+  /// The teardown cause (OK when not poisoned).
+  Status poison_status() const;
+
  private:
   const FlowOptions options_;
   const uint32_t tuple_size_;
   const uint16_t source_index_;
   const net::NodeId target_node_;
+  const net::FaultPlan* fault_plan_;
+  std::atomic<net::NodeId> source_node_{net::kInvalidNode};
   rdma::MemoryRegion* ring_mr_;    // owned by the target's RdmaContext
   rdma::MemoryRegion* credit_mr_;  // latency-mode credit counter
   SegmentRing ring_;
   RingSync sync_;
   ReadyGate* target_gate_ = nullptr;
   std::unique_ptr<std::atomic<SimTime>[]> slot_free_time_;
+  std::atomic<bool> poisoned_{false};
+  mutable std::mutex poison_mu_;
+  Status poison_cause_;
 };
 
 /// Source half of a channel. Owned and driven by exactly one source thread.
@@ -147,15 +173,26 @@ class ChannelSource {
   /// Flushes and sends the end-of-flow marker. Idempotent.
   Status Close();
 
+  /// Tears the channel down without a clean end-of-flow: poisons the shared
+  /// state (waking both halves) and best-effort publishes a poisoned footer
+  /// into the target ring so a remote footer poller discovers the abort the
+  /// same way it discovers data. Marks the channel closed; all further
+  /// pushes fail with `cause`.
+  void Abort(const Status& cause);
+
   uint64_t segments_sent() const { return send_seq_; }
   VirtualClock* clock() { return clock_; }
 
  private:
   Status TransmitSegment(const uint8_t* payload, uint32_t fill, bool end);
   /// Blocks (real) / charges (virtual) until target slot `idx` is writable.
-  void EnsureRemoteWritable(uint32_t idx);
-  /// Latency mode: blocks/charges until a credit is available.
-  void EnsureCredit();
+  /// Fails with kDeadlineExceeded / kPeerFailed / kAborted when the flow's
+  /// deadline elapses or teardown is observed (the remote-ring-full case
+  /// that used to hang forever on a dead consumer).
+  Status EnsureRemoteWritable(uint32_t idx);
+  /// Latency mode: blocks/charges until a credit is available; same failure
+  /// semantics as EnsureRemoteWritable.
+  Status EnsureCredit();
 
   ChannelShared* const shared_;
   rdma::RcQueuePair* qp_ = nullptr;

@@ -6,6 +6,8 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "core/deadline.h"
+#include "net/fault_plan.h"
 
 namespace dfi {
 namespace {
@@ -80,6 +82,10 @@ CombinerFlowState::CombinerFlowState(CombinerFlowSpec spec,
   }
 }
 
+void CombinerFlowState::Abort(const Status& cause) {
+  for (auto& ch : channels_) ch->Poison(cause);
+}
+
 // ---------------------------------------------------------------------------
 // CombinerSource
 // ---------------------------------------------------------------------------
@@ -123,10 +129,17 @@ Status CombinerSource::Flush() {
 }
 
 Status CombinerSource::Close() {
+  // Attempt every channel even after a failure (see ShuffleSource::Close).
+  Status first;
   for (auto& ch : channels_) {
-    DFI_RETURN_IF_ERROR(ch->Close());
+    Status s = ch->Close();
+    if (first.ok() && !s.ok()) first = std::move(s);
   }
-  return Status::OK();
+  return first;
+}
+
+void CombinerSource::Abort(const Status& cause) {
+  for (auto& ch : channels_) ch->Abort(cause);
 }
 
 // ---------------------------------------------------------------------------
@@ -192,11 +205,13 @@ void CombinerTarget::Fold(TupleView tuple) {
   ++tuples_aggregated_;
 }
 
-void CombinerTarget::Drain() {
+Status CombinerTarget::Drain() {
   const Schema& schema = state_->spec().schema;
   const uint32_t tuple_size = static_cast<uint32_t>(schema.tuple_size());
   const uint32_t n = static_cast<uint32_t>(cursors_.size());
   ReadyGate* gate = state_->target_gate(target_index_);
+  DeadlineWait wait(state_->spec().options, &clock_);
+  const net::FaultPlan& plan = state_->env()->fabric().fault_plan();
   // Fold segments in delivery order off the ready list — O(deliveries),
   // independent of how many source channels sit idle. Exhaustion is
   // counted at the release transitions (a released cursor is exhausted iff
@@ -240,20 +255,61 @@ void CombinerTarget::Drain() {
     }
     if (found) continue;
     if (exhausted == n) break;
-    gate->WaitChanged(version);
+    // Blocked: surface teardown, crashed sources, or the deadline instead
+    // of waiting for an end-of-flow marker that will never come.
+    for (auto& cursor : cursors_) {
+      if (!cursor->exhausted() && cursor->shared()->poisoned()) {
+        if (held >= 0) cursors_[held]->Release();
+        wait.Commit();
+        return cursor->shared()->poison_status();
+      }
+    }
+    if (plan.active()) {
+      const SimTime now = wait.ProvisionalNow();
+      for (uint32_t s = 0; s < n; ++s) {
+        if (cursors_[s]->exhausted()) continue;
+        const net::NodeId src = state_->source_node(s);
+        if (!plan.NodeAlive(src, now)) {
+          if (held >= 0) cursors_[held]->Release();
+          wait.Commit();
+          return Status::PeerFailed(
+              "combiner source " + std::to_string(s) + " on node " +
+              std::to_string(src) + " failed before closing its channel");
+        }
+      }
+    }
+    if (!wait.Tick()) {
+      if (held >= 0) cursors_[held]->Release();
+      wait.Commit();
+      return Status::DeadlineExceeded(
+          "combiner drain deadline elapsed with " +
+          std::to_string(n - exhausted) + " source channel(s) still open");
+    }
+    gate->WaitChangedFor(version, DeadlineWait::kRealSlice);
   }
   if (held >= 0) cursors_[held]->Release();
   drained_ = true;
+  return Status::OK();
 }
 
 ConsumeResult CombinerTarget::ConsumeAggregate(AggRow* out) {
-  if (!drained_) Drain();
+  if (!drained_) {
+    Status s = Drain();
+    if (!s.ok()) {
+      last_status_ = std::move(s);
+      return ConsumeResult::kError;
+    }
+  }
   if (output_pos_ >= output_keys_.size()) return ConsumeResult::kFlowEnd;
   const uint64_t key = output_keys_[output_pos_++];
   out->group_key = key;
   out->values = groups_.at(key);
   clock_.Advance(config_->tuple_consume_fixed_ns);
   return ConsumeResult::kOk;
+}
+
+void CombinerTarget::Abort(const Status& cause) {
+  for (auto& cursor : cursors_) cursor->shared()->Poison(cause);
 }
 
 }  // namespace dfi

@@ -65,6 +65,10 @@ class CombinerFlowState : public FlowStateBase {
     return source_nodes_[source];
   }
 
+  /// Tears the whole flow down by poisoning every channel; all
+  /// participants' next operation fails with `cause`.
+  void Abort(const Status& cause) override;
+
  private:
   const CombinerFlowSpec spec_;
   rdma::RdmaEnv* const env_;
@@ -87,6 +91,10 @@ class CombinerSource {
   Status Push(const void* tuple);
   Status Flush();
   Status Close();
+
+  /// Aborts this source's channels without a clean end-of-flow; targets
+  /// observe the teardown and their ConsumeAggregate returns kError.
+  void Abort(const Status& cause);
 
   const Schema& schema() const { return state_->spec().schema; }
   VirtualClock& clock() { return clock_; }
@@ -121,8 +129,15 @@ class CombinerTarget {
 
   /// Blocking: next aggregate row. The first call drains the entire flow
   /// (aggregation happens as segments arrive); returns kFlowEnd after the
-  /// last row.
+  /// last row, or kError (see last_status()) when the flow fails while
+  /// draining — partial aggregates are discarded, not surfaced.
   ConsumeResult ConsumeAggregate(AggRow* out);
+
+  /// Aborts the target side: blocked sources wake with kAborted.
+  void Abort(const Status& cause);
+
+  /// The failure behind the last ConsumeResult::kError (OK otherwise).
+  const Status& last_status() const { return last_status_; }
 
   /// Number of input tuples folded so far.
   uint64_t tuples_aggregated() const { return tuples_aggregated_; }
@@ -130,7 +145,7 @@ class CombinerTarget {
 
  private:
   void Fold(TupleView tuple);
-  void Drain();
+  Status Drain();
 
   std::shared_ptr<CombinerFlowState> state_;
   const uint32_t target_index_;
@@ -143,6 +158,7 @@ class CombinerTarget {
   std::unordered_map<uint64_t, bool> group_seen_;  // for min/max init
   std::vector<uint64_t> output_keys_;
   size_t output_pos_ = 0;
+  Status last_status_;
 };
 
 }  // namespace dfi

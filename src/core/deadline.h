@@ -1,0 +1,74 @@
+#ifndef DFI_CORE_DEADLINE_H_
+#define DFI_CORE_DEADLINE_H_
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/sim_time.h"
+#include "core/flow_options.h"
+
+namespace dfi {
+
+/// Tracks one bounded blocking wait in virtual time.
+///
+/// On hardware a blocked peer re-polls remote state (footer reads, credit
+/// reads) with a capped exponential backoff; the poll count times the
+/// backoff is the virtual cost of being blocked, and the configured
+/// deadline bounds it. The emulation sleeps in real time instead of
+/// spinning (see ring_sync.h), so this class keeps the virtual ledger: each
+/// unproductive wakeup accrues the next backoff step into a *provisional*
+/// budget checked against FlowOptions::block_deadline_ns.
+///
+/// The budget is provisional on purpose: a wait that eventually succeeds
+/// derives its virtual cost from the footer/credit timestamps exactly as
+/// before, so fault-free runs keep their timing bit-for-bit. Only the error
+/// paths (deadline, poison, peer failure) Commit() the accrued backoff to
+/// the clock before returning, so a failing participant's clock reflects
+/// the time it spent discovering the failure.
+class DeadlineWait {
+ public:
+  DeadlineWait(const FlowOptions& options, VirtualClock* clock)
+      : clock_(clock),
+        deadline_ns_(options.block_deadline_ns),
+        backoff_ns_(std::max<SimTime>(1, options.backoff_initial_ns)),
+        cap_ns_(std::max<SimTime>(1, options.backoff_cap_ns)) {}
+
+  /// Accrues one unproductive poll round. Returns false once the deadline
+  /// (if any) is exhausted.
+  bool Tick() {
+    waited_ns_ += backoff_ns_;
+    backoff_ns_ = std::min(backoff_ns_ * 2, cap_ns_);
+    return deadline_ns_ == 0 || waited_ns_ < deadline_ns_;
+  }
+
+  /// Virtual time provisionally spent blocked so far.
+  SimTime waited() const { return waited_ns_; }
+
+  /// Virtual "now" as seen by this blocked thread — the fault plan is
+  /// queried at this time so a peer's scheduled crash becomes observable
+  /// once the provisional wait passes it.
+  SimTime ProvisionalNow() const { return clock_->now() + waited_ns_; }
+
+  /// Commits the provisional wait to the clock (error paths only).
+  void Commit() {
+    if (waited_ns_ > 0) clock_->Advance(waited_ns_);
+    waited_ns_ = 0;
+  }
+
+  /// Real-time slice for one bounded sleep between poll rounds. Short
+  /// enough that teardown and fault-plan crashes are noticed promptly,
+  /// long enough that an idle blocked thread costs no measurable host CPU.
+  static constexpr std::chrono::nanoseconds kRealSlice =
+      std::chrono::microseconds(200);
+
+ private:
+  VirtualClock* const clock_;
+  const SimTime deadline_ns_;
+  SimTime backoff_ns_;
+  const SimTime cap_ns_;
+  SimTime waited_ns_ = 0;
+};
+
+}  // namespace dfi
+
+#endif  // DFI_CORE_DEADLINE_H_

@@ -160,6 +160,14 @@ Status DfiRuntime::RemoveFlow(const std::string& flow_name) {
   return registry_.Remove(flow_name);
 }
 
+Status DfiRuntime::AbortFlow(const std::string& flow_name,
+                             const Status& cause) {
+  DFI_ASSIGN_OR_RETURN(std::shared_ptr<FlowStateBase> base,
+                       registry_.Retrieve(flow_name));
+  base->Abort(cause);
+  return Status::OK();
+}
+
 uint64_t DfiRuntime::RegisteredBytesOnNode(net::NodeId node) const {
   return fabric_->node(node).registered_bytes();
 }

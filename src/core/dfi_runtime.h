@@ -75,6 +75,10 @@ class DfiRuntime {
   /// endpoint handle drops).
   Status RemoveFlow(const std::string& flow_name);
 
+  /// Tears a flow down by name: every participant's next (or currently
+  /// blocked) operation fails with `cause`. NotFound if no such flow.
+  Status AbortFlow(const std::string& flow_name, const Status& cause);
+
   /// Total registered (flow-buffer) bytes currently on `node` — the memory
   /// consumption metric of paper section 6.1.4.
   uint64_t RegisteredBytesOnNode(net::NodeId node) const;

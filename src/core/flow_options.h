@@ -58,6 +58,22 @@ struct FlowOptions {
   /// NOPaxos use case drives its gap-agreement protocol this way (paper
   /// section 5.4).
   bool app_handles_gaps = false;
+
+  /// Deadline (virtual ns) for every blocking wait inside the flow: the
+  /// remote-ring-full footer poll, the credit refresh, and blocking
+  /// consume calls. 0 (default) waits forever, which preserves fault-free
+  /// behavior exactly; fault-tolerant applications set a deadline and
+  /// handle kDeadlineExceeded. Teardown (Abort / a fault-plan crash of the
+  /// peer) interrupts a blocked call regardless of the deadline.
+  SimTime block_deadline_ns = 0;
+
+  /// Capped exponential backoff charged (in virtual time) per unproductive
+  /// re-poll while blocked — the emulation analogue of polling a remote
+  /// footer with increasing delay. Only error paths commit this charge to
+  /// the clock; successful waits keep deriving their cost from footer
+  /// timestamps, leaving the fault-free performance model untouched.
+  SimTime backoff_initial_ns = 2 * kMicrosecond;
+  SimTime backoff_cap_ns = 1 * kMillisecond;
 };
 
 }  // namespace dfi

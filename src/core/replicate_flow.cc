@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "core/deadline.h"
+#include "net/fault_plan.h"
 
 namespace dfi {
 namespace {
@@ -15,6 +17,10 @@ uint32_t RoundUp8(uint32_t v) { return (v + 7u) & ~7u; }
 /// Real-time backstop while waiting for out-of-order arrivals before gap
 /// handling kicks in.
 constexpr std::chrono::milliseconds kGapPollTimeout{5};
+
+/// Real-time poll slice for unordered multicast consumes: long enough to be
+/// cheap, short enough that teardown / fault-plan crashes surface promptly.
+constexpr std::chrono::milliseconds kConsumePollSlice{1};
 
 }  // namespace
 
@@ -110,15 +116,15 @@ uint8_t* ReplicateFlowState::recv_slot(uint32_t target, uint32_t slot) {
          static_cast<size_t>(slot) * slot_bytes();
 }
 
-uint64_t ReplicateFlowState::AcquirePosition(rdma::RcQueuePair* seq_qp,
-                                             VirtualClock* clock) {
+StatusOr<uint64_t> ReplicateFlowState::AcquirePosition(
+    rdma::RcQueuePair* seq_qp, VirtualClock* clock) {
   if (!ordered()) {
     return unordered_positions_.fetch_add(1, std::memory_order_acq_rel);
   }
   // Tuple sequencer: RDMA fetch-and-add on a global counter (paper 5.4).
-  auto old = seq_qp->FetchAdd(sequencer_ref(), 1, clock);
-  DFI_CHECK(old.ok()) << old.status();
-  return *old;
+  // Fails with kPeerFailed when the sequencer node crashed or is
+  // partitioned away — the flow cannot make ordered progress then.
+  return seq_qp->FetchAdd(sequencer_ref(), 1, clock);
 }
 
 uint64_t ReplicateFlowState::LoadConsumed(uint32_t target) const {
@@ -139,7 +145,7 @@ void ReplicateFlowState::ReportConsumed(uint32_t target, SimTime now) {
   credit_sync_.Notify();
 }
 
-void ReplicateFlowState::WaitForCredit(
+Status ReplicateFlowState::WaitForCredit(
     uint64_t position, std::vector<rdma::RcQueuePair*>& credit_qps,
     VirtualClock* clock) {
   const uint64_t slots = pool_slots_;
@@ -161,14 +167,45 @@ void ReplicateFlowState::WaitForCredit(
       read.remote = credit_ref(t);
       read.length = sizeof(uint64_t);
       auto timing = credit_qps[t]->PostRead(read, clock);
-      DFI_CHECK(timing.ok()) << timing.status();
+      DFI_RETURN_IF_ERROR(timing.status());
     }
   }
-  if (position < min_consumed() + slots) return;
+  if (position < min_consumed() + slots) return Status::OK();
 
-  // Blocked: wait until every target caught up, charging virtual time from
-  // the limiting target's consume timestamp plus one discovering read.
-  credit_sync_.Wait([&] { return position < min_consumed() + slots; });
+  // Blocked: wait until every target caught up. A dead or aborted target
+  // never reports consumption, so the wait is deadline-bounded and checks
+  // teardown / fault-plan state every slice instead of hanging forever.
+  DeadlineWait wait(spec_.options, clock);
+  const net::FaultPlan& plan = env_->fabric().fault_plan();
+  for (;;) {
+    const uint64_t seen = credit_sync_.version();
+    if (position < min_consumed() + slots) break;
+    if (aborted()) {
+      wait.Commit();
+      return abort_status();
+    }
+    if (plan.active()) {
+      const SimTime now = wait.ProvisionalNow();
+      for (uint32_t t = 0; t < num_targets(); ++t) {
+        if (!plan.NodeAlive(target_nodes_[t], now)) {
+          wait.Commit();
+          return Status::PeerFailed(
+              "replicate target " + std::to_string(t) + " on node " +
+              std::to_string(target_nodes_[t]) +
+              " failed; credit window cannot advance");
+        }
+      }
+    }
+    if (!wait.Tick()) {
+      wait.Commit();
+      return Status::DeadlineExceeded(
+          "credit wait deadline at position " + std::to_string(position));
+    }
+    credit_sync_.WaitChangedFor(seen, DeadlineWait::kRealSlice);
+  }
+
+  // Success: charge virtual time from the limiting target's consume
+  // timestamp plus one discovering read (fault-free timing unchanged).
   SimTime limit = 0;
   for (uint32_t t = 0; t < num_targets(); ++t) {
     limit = std::max(limit,
@@ -181,8 +218,25 @@ void ReplicateFlowState::WaitForCredit(
   read.remote = credit_ref(0);
   read.length = sizeof(uint64_t);
   auto timing = credit_qps[0]->PostRead(read, clock);
-  DFI_CHECK(timing.ok()) << timing.status();
+  DFI_RETURN_IF_ERROR(timing.status());
   clock->AdvanceTo(timing->arrival);
+  return Status::OK();
+}
+
+void ReplicateFlowState::Abort(const Status& cause) {
+  {
+    std::lock_guard<std::mutex> lock(abort_mu_);
+    if (aborted_.load(std::memory_order_relaxed)) return;
+    abort_cause_ = cause.ok() ? Status::Aborted("flow aborted") : cause;
+    aborted_.store(true, std::memory_order_release);
+  }
+  for (auto& ch : channels_) ch->Poison(cause);  // naive transport, if any
+  credit_sync_.Notify();  // wake sources blocked on the credit window
+}
+
+Status ReplicateFlowState::abort_status() const {
+  std::lock_guard<std::mutex> lock(abort_mu_);
+  return abort_cause_;
 }
 
 void ReplicateFlowState::RecordHistory(uint32_t source, uint64_t seq,
@@ -248,6 +302,7 @@ Status ReplicateSource::Push(const void* tuple) {
   if (closed_) {
     return Status::FailedPrecondition("push on closed replicate source");
   }
+  if (state_->aborted()) return state_->abort_status();
   const net::SimConfig& cfg = state_->env()->config();
   const uint32_t len = static_cast<uint32_t>(schema().tuple_size());
   // The tuple is staged once regardless of target count; replication
@@ -303,9 +358,21 @@ Status ReplicateSource::TransmitNaive(uint32_t fill, bool end) {
   return Status::OK();
 }
 
+void ReplicateSource::Abort(const Status& cause) {
+  closed_ = true;
+  if (state_->multicast()) {
+    // Switch replication has no per-pair channel: tear the flow down.
+    state_->Abort(cause);
+    return;
+  }
+  for (auto& ch : channels_) ch->Abort(cause);
+}
+
 Status ReplicateSource::TransmitMulticast(uint32_t fill, bool end) {
-  const uint64_t position = state_->AcquirePosition(seq_qp_, &clock_);
-  state_->WaitForCredit(position, credit_qps_, &clock_);
+  DFI_ASSIGN_OR_RETURN(const uint64_t position,
+                       state_->AcquirePosition(seq_qp_, &clock_));
+  DFI_RETURN_IF_ERROR(
+      state_->WaitForCredit(position, credit_qps_, &clock_));
 
   uint8_t* slot = staging_.payload(staging_slot_);
   auto* footer = reinterpret_cast<SegmentFooter*>(
@@ -376,9 +443,61 @@ ConsumeResult ReplicateTarget::ConsumeSegment(SegmentView* out) {
                            : ConsumeMulticastUnordered(out);
 }
 
+bool ReplicateTarget::CheckFailure(DeadlineWait* wait,
+                                   ConsumeResult* out_result) {
+  // Flow-level teardown first.
+  if (state_->aborted()) {
+    last_status_ = state_->abort_status();
+    wait->Commit();
+    *out_result = ConsumeResult::kError;
+    return true;
+  }
+  // Naive transport: per-channel poison (a source-side Abort poisons its
+  // channels before the flow-level flag is necessarily set).
+  for (auto& cursor : cursors_) {
+    if (!cursor->exhausted() && cursor->shared()->poisoned()) {
+      last_status_ = cursor->shared()->poison_status();
+      wait->Commit();
+      *out_result = ConsumeResult::kError;
+      return true;
+    }
+  }
+  // A crashed source never sequences its end-of-flow marker, so the flow
+  // can never finish; surface it as kPeerFailed. (Multicast end markers are
+  // counted, not per-source, so any dead source fails the flow — membership
+  // semantics.)
+  const net::FaultPlan& plan = state_->env()->fabric().fault_plan();
+  if (plan.active()) {
+    const SimTime now = wait->ProvisionalNow();
+    for (uint32_t s = 0; s < state_->num_sources(); ++s) {
+      if (!state_->multicast() && cursors_[s]->exhausted()) continue;
+      const net::NodeId src = state_->source_node(s);
+      if (!plan.NodeAlive(src, now)) {
+        last_status_ = Status::PeerFailed(
+            "replicate source " + std::to_string(s) + " on node " +
+            std::to_string(src) + " failed before closing the flow");
+        wait->Commit();
+        *out_result = ConsumeResult::kError;
+        return true;
+      }
+    }
+  }
+  if (!wait->Tick()) {
+    last_status_ =
+        Status::DeadlineExceeded("replicate consume deadline elapsed");
+    wait->Commit();
+    *out_result = ConsumeResult::kError;
+    return true;
+  }
+  return false;
+}
+
+void ReplicateTarget::Abort(const Status& cause) { state_->Abort(cause); }
+
 ConsumeResult ReplicateTarget::ConsumeNaive(SegmentView* out) {
   ReadyGate* gate = state_->target_gate(target_index_);
   const uint32_t n = static_cast<uint32_t>(cursors_.size());
+  DeadlineWait wait(state_->spec().options, &clock_);
   // Serve segments in delivery order off the ready list — O(deliveries)
   // instead of an O(num_sources) ring scan per segment. Exhaustion is
   // counted at release transitions, so flow end needs no recount.
@@ -410,7 +529,9 @@ ConsumeResult ReplicateTarget::ConsumeNaive(SegmentView* out) {
       return ConsumeResult::kOk;
     }
     if (exhausted_count_ == n) return ConsumeResult::kFlowEnd;
-    gate->WaitChanged(version);
+    ConsumeResult failure;
+    if (CheckFailure(&wait, &failure)) return failure;
+    gate->WaitChangedFor(version, DeadlineWait::kRealSlice);
   }
 }
 
@@ -418,12 +539,17 @@ ConsumeResult ReplicateTarget::ConsumeMulticastUnordered(SegmentView* out) {
   ReleaseHeld();
   rdma::CompletionQueue* cq = state_->target_qp(target_index_)->recv_cq();
   auto& ends = state_->ends_seen(target_index_);
+  DeadlineWait wait(state_->spec().options, &clock_);
   for (;;) {
     if (ends.load(std::memory_order_acquire) == state_->num_sources()) {
       return ConsumeResult::kFlowEnd;
     }
     rdma::Completion c;
-    cq->PollBlocking(&c, &clock_);
+    if (!cq->PollFor(&c, &clock_, kConsumePollSlice)) {
+      ConsumeResult failure;
+      if (CheckFailure(&wait, &failure)) return failure;
+      continue;
+    }
     const uint32_t slot = static_cast<uint32_t>(c.wr_id);
     const SegmentFooter* footer = SlotFooter(slot);
     if (footer->end_of_flow()) {
@@ -454,6 +580,7 @@ ConsumeResult ReplicateTarget::ConsumeMulticastOrdered(SegmentView* out) {
   ReleaseHeld();
   rdma::CompletionQueue* cq = state_->target_qp(target_index_)->recv_cq();
   auto& ends = state_->ends_seen(target_index_);
+  DeadlineWait wait(state_->spec().options, &clock_);
   for (;;) {
     if (ends.load(std::memory_order_acquire) == state_->num_sources()) {
       return ConsumeResult::kFlowEnd;
@@ -520,11 +647,17 @@ ConsumeResult ReplicateTarget::ConsumeMulticastOrdered(SegmentView* out) {
       continue;
     }
 
-    // Poll timed out: possible gap (paper section 5.4). With loss injection
+    // Poll timed out: first surface teardown / dead peers / the deadline,
+    // then consider gap recovery (paper section 5.4). With loss injection
     // disabled nothing can be lost — the head sequence is merely still in
     // flight (e.g. its sender was descheduled), so keep polling instead of
     // issuing spurious recoveries.
-    if (config_->multicast_loss_probability <= 0) continue;
+    ConsumeResult failure;
+    if (CheckFailure(&wait, &failure)) return failure;
+    if (config_->multicast_loss_probability <= 0 &&
+        !state_->env()->fabric().fault_plan().HasLossBursts()) {
+      continue;
+    }
     // Evidence of loss is either a later segment already queued, or the
     // missing sequence being present in a source's retransmit history
     // (covers tail loss where no later segment will ever arrive).

@@ -20,6 +20,8 @@
 
 namespace dfi {
 
+class DeadlineWait;
+
 /// Declarative description of a replicate flow (paper section 4.2.2): every
 /// tuple pushed by any source is delivered to *all* targets. Topologies 1:N
 /// and N:M. Options: bandwidth/latency, naive one-sided vs. RDMA multicast
@@ -82,10 +84,14 @@ class ReplicateFlowState : public FlowStateBase {
   /// only be sent once every target has consumed more than
   /// `p - pool_slots` messages. Targets report consumption through a
   /// back-flow counter; sources cache and refresh it with RDMA reads.
-  uint64_t AcquirePosition(rdma::RcQueuePair* seq_qp, VirtualClock* clock);
-  void WaitForCredit(uint64_t position,
-                     std::vector<rdma::RcQueuePair*>& credit_qps,
-                     VirtualClock* clock);
+  /// AcquirePosition fails with kPeerFailed when the sequencer node is
+  /// down; WaitForCredit fails with kDeadlineExceeded / kPeerFailed /
+  /// kAborted when the window cannot advance (dead or aborted target).
+  StatusOr<uint64_t> AcquirePosition(rdma::RcQueuePair* seq_qp,
+                                     VirtualClock* clock);
+  Status WaitForCredit(uint64_t position,
+                       std::vector<rdma::RcQueuePair*>& credit_qps,
+                       VirtualClock* clock);
   void ReportConsumed(uint32_t target, SimTime now);
   uint64_t LoadConsumed(uint32_t target) const;
   rdma::RemoteRef credit_ref(uint32_t target) const;
@@ -105,6 +111,15 @@ class ReplicateFlowState : public FlowStateBase {
   std::atomic<uint32_t>& ends_seen(uint32_t target) {
     return ends_seen_[target];
   }
+
+  /// Tears the whole flow down. Replication is all-to-all (every target
+  /// consumes every tuple), so teardown has flow granularity: naive-mode
+  /// channels are poisoned and multicast participants observe aborted() on
+  /// their next poll slice. First cause wins.
+  void Abort(const Status& cause) override;
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+  /// The teardown cause (OK when not aborted).
+  Status abort_status() const;
 
  private:
   const ReplicateFlowSpec spec_;
@@ -136,6 +151,11 @@ class ReplicateFlowState : public FlowStateBase {
   };
   std::vector<std::unique_ptr<History>> histories_;
   static constexpr size_t kHistoryDepth = 4096;
+
+  // Teardown state (multicast has no per-pair channel to poison).
+  std::atomic<bool> aborted_{false};
+  mutable std::mutex abort_mu_;
+  Status abort_cause_;
 };
 
 /// Source handle of a replicate flow.
@@ -151,6 +171,11 @@ class ReplicateSource {
   Status Push(const void* tuple);
   Status Flush();
   Status Close();
+
+  /// Aborts without a clean end-of-flow. Replication is all-to-all, so the
+  /// whole flow is torn down: every participant's next operation fails
+  /// with `cause`.
+  void Abort(const Status& cause);
 
   const Schema& schema() const { return state_->spec().schema; }
   VirtualClock& clock() { return clock_; }
@@ -210,6 +235,12 @@ class ReplicateTarget {
   /// its own protocol, e.g. NOPaxos gap agreement).
   void SupplyGap(const void* data, uint32_t bytes);
 
+  /// Aborts the whole flow (see ReplicateFlowState::Abort).
+  void Abort(const Status& cause);
+
+  /// The failure behind the last ConsumeResult::kError (OK otherwise).
+  const Status& last_status() const { return last_status_; }
+
   const Schema& schema() const { return state_->spec().schema; }
   uint32_t target_index() const { return target_index_; }
   VirtualClock& clock() { return clock_; }
@@ -219,6 +250,10 @@ class ReplicateTarget {
   ConsumeResult ConsumeMulticastUnordered(SegmentView* out);
   ConsumeResult ConsumeMulticastOrdered(SegmentView* out);
   void ReleaseHeld();
+  /// One failure-poll round while blocked: surfaces flow teardown, channel
+  /// poison (naive mode), crashed sources (fault plan) or the flow deadline
+  /// as kError; ticks `wait`. True when the consume call must stop.
+  bool CheckFailure(DeadlineWait* wait, ConsumeResult* out_result);
   /// Parses the footer at the end of a received datagram slot.
   const SegmentFooter* SlotFooter(uint32_t slot) const;
 
@@ -247,6 +282,7 @@ class ReplicateTarget {
   // Tuple iteration state.
   SegmentView current_;
   uint32_t tuple_offset_ = 0;
+  Status last_status_;
 };
 
 }  // namespace dfi

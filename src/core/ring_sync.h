@@ -1,6 +1,7 @@
 #ifndef DFI_CORE_RING_SYNC_H_
 #define DFI_CORE_RING_SYNC_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -56,6 +57,15 @@ class RingSync {
   void WaitChanged(uint64_t seen) {
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [&] { return version_ != seen; });
+  }
+
+  /// Bounded variant for deadline-aware waiters: returns once the version
+  /// moves past `seen` or after `timeout` of real time, whichever is first
+  /// (true iff the version changed). Callers loop, re-checking poison /
+  /// fault / deadline conditions between slices.
+  bool WaitChangedFor(uint64_t seen, std::chrono::nanoseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, timeout, [&] { return version_ != seen; });
   }
 
  private:
@@ -125,6 +135,12 @@ class ReadyGate {
   void WaitChanged(uint64_t seen) {
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [&] { return version_ != seen; });
+  }
+
+  /// Bounded variant, as in RingSync::WaitChangedFor.
+  bool WaitChangedFor(uint64_t seen, std::chrono::nanoseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, timeout, [&] { return version_ != seen; });
   }
 
  private:

@@ -12,10 +12,14 @@ namespace dfi {
 
 /// Segment state flags. `kFlagWritable` (0) means the source may overwrite
 /// the segment; `kFlagConsumable` means the target may read it;
-/// `kFlagEndOfFlow` marks the source's final segment.
+/// `kFlagEndOfFlow` marks the source's final segment. `kFlagPoisoned`
+/// propagates an Abort(): it travels like a normal footer publication, so a
+/// remote poller discovers the teardown through the very footer it is
+/// polling (the channel's shared poison state is the authoritative copy).
 inline constexpr uint8_t kFlagWritable = 0x00;
 inline constexpr uint8_t kFlagConsumable = 0x01;
 inline constexpr uint8_t kFlagEndOfFlow = 0x02;
+inline constexpr uint8_t kFlagPoisoned = 0x04;
 
 /// Per-segment metadata placed *after* the payload (paper Figure 5). The
 /// remote NIC DMAs memory in increasing address order, so once the target

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "core/deadline.h"
 
 namespace dfi {
 
@@ -38,6 +39,12 @@ ShuffleFlowState::ShuffleFlowState(ShuffleFlowSpec spec, rdma::RdmaEnv* env)
       channels_[static_cast<size_t>(s) * m + t] = std::move(channel);
     }
   }
+}
+
+void ShuffleFlowState::Abort(const Status& cause) {
+  // Poison wakes both halves of every channel (sync + target gate), so
+  // blocked sources and targets observe the teardown promptly.
+  for (auto& ch : channels_) ch->Poison(cause);
 }
 
 uint64_t ShuffleFlowState::RingBytesOnNode(net::NodeId node) const {
@@ -279,10 +286,19 @@ Status ShuffleSource::Flush() {
 }
 
 Status ShuffleSource::Close() {
+  // Attempt every channel even after a failure: targets whose channel did
+  // close should not be starved of their end-of-flow marker because a
+  // sibling channel's close failed.
+  Status first;
   for (auto& ch : channels_) {
-    DFI_RETURN_IF_ERROR(ch->Close());
+    Status s = ch->Close();
+    if (first.ok() && !s.ok()) first = std::move(s);
   }
-  return Status::OK();
+  return first;
+}
+
+void ShuffleSource::Abort(const Status& cause) {
+  for (auto& ch : channels_) ch->Abort(cause);
 }
 
 // ---------------------------------------------------------------------------
@@ -349,18 +365,63 @@ bool ShuffleTarget::TryConsumeSegment(SegmentView* out,
     *out_result = ConsumeResult::kFlowEnd;
     return true;  // definitive answer
   }
+  // Nothing consumable: surface teardown through the non-blocking path too
+  // (already-delivered segments above still drain ahead of the error).
+  for (auto& cursor : cursors_) {
+    if (!cursor->exhausted() && cursor->shared()->poisoned()) {
+      last_status_ = cursor->shared()->poison_status();
+      *out_result = ConsumeResult::kError;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ShuffleTarget::CheckFailure(DeadlineWait* wait,
+                                 ConsumeResult* out_result) {
+  // A crashed source never sends its end-of-flow marker; ask the fault
+  // plan so the failure surfaces as kPeerFailed instead of waiting out the
+  // full deadline. (Poison is detected in TryConsumeSegment.)
+  const net::FaultPlan* plan =
+      cursors_.empty() ? nullptr : cursors_[0]->shared()->fault_plan();
+  if (plan != nullptr && plan->active()) {
+    const SimTime now = wait->ProvisionalNow();
+    for (uint32_t s = 0; s < cursors_.size(); ++s) {
+      if (cursors_[s]->exhausted()) continue;
+      const net::NodeId src = state_->source_node(s);
+      if (src != net::kInvalidNode && !plan->NodeAlive(src, now)) {
+        last_status_ = Status::PeerFailed(
+            "shuffle source " + std::to_string(s) + " on node " +
+            std::to_string(src) + " failed before closing its channel");
+        wait->Commit();
+        *out_result = ConsumeResult::kError;
+        return true;
+      }
+    }
+  }
+  if (!wait->Tick()) {
+    last_status_ = Status::DeadlineExceeded(
+        "consume deadline elapsed with " +
+        std::to_string(cursors_.size() - exhausted_count_) +
+        " source channel(s) still open");
+    wait->Commit();
+    *out_result = ConsumeResult::kError;
+    return true;
+  }
   return false;
 }
 
 ConsumeResult ShuffleTarget::ConsumeSegment(SegmentView* out) {
   ReadyGate* gate = state_->target_gate(target_index_);
+  DeadlineWait wait(state_->spec().options, &clock_);
   for (;;) {
     // Capture the gate version before scanning so a delivery racing with
     // the scan is never missed.
     const uint64_t version = gate->version();
     ConsumeResult result;
     if (TryConsumeSegment(out, &result)) return result;
-    gate->WaitChanged(version);
+    if (CheckFailure(&wait, &result)) return result;
+    gate->WaitChangedFor(version, DeadlineWait::kRealSlice);
   }
 }
 
@@ -379,9 +440,13 @@ ConsumeResult ShuffleTarget::Consume(TupleView* out) {
     tuple_offset_ = 0;
     SegmentView view;
     const ConsumeResult r = ConsumeSegment(&view);
-    if (r == ConsumeResult::kFlowEnd) return r;
+    if (r != ConsumeResult::kOk) return r;
     current_ = view;
   }
+}
+
+void ShuffleTarget::Abort(const Status& cause) {
+  for (auto& cursor : cursors_) cursor->shared()->Poison(cause);
 }
 
 }  // namespace dfi

@@ -18,6 +18,8 @@
 
 namespace dfi {
 
+class DeadlineWait;
+
 /// Declarative description of a shuffle flow (paper Figure 1 / Table 1):
 /// N source threads route tuples to M target threads, supporting 1:1, N:1,
 /// 1:N and N:M topologies.
@@ -65,6 +67,11 @@ class ShuffleFlowState : public FlowStateBase {
   /// counted when sources are created).
   uint64_t RingBytesOnNode(net::NodeId node) const;
 
+  /// Tears down the whole flow: poisons every channel so all participants'
+  /// next (or currently blocked) operation returns `cause`. Safe from any
+  /// thread; endpoint-level Abort() calls funnel here.
+  void Abort(const Status& cause) override;
+
  private:
   const ShuffleFlowSpec spec_;
   rdma::RdmaEnv* const env_;
@@ -107,6 +114,12 @@ class ShuffleSource {
 
   /// Flushes and signals end-of-flow to every target. Idempotent.
   Status Close();
+
+  /// Aborts this source's channels without a clean end-of-flow: every
+  /// target observes the poisoned footer / shared poison state and its
+  /// consume returns kError. Used when the worker cannot finish (crash
+  /// simulation, upstream failure).
+  void Abort(const Status& cause);
 
   const Schema& schema() const { return state_->spec().schema; }
   uint32_t source_index() const { return source_index_; }
@@ -166,6 +179,13 @@ class ShuffleTarget {
   /// consumable (out_result distinguishes empty from flow end).
   bool TryConsumeSegment(SegmentView* out, ConsumeResult* out_result);
 
+  /// Aborts the target side: sources blocked on this target's full rings
+  /// wake with kAborted instead of waiting out their deadline.
+  void Abort(const Status& cause);
+
+  /// The failure behind the last ConsumeResult::kError (OK otherwise).
+  const Status& last_status() const { return last_status_; }
+
   const Schema& schema() const { return state_->spec().schema; }
   uint32_t target_index() const { return target_index_; }
   VirtualClock& clock() { return clock_; }
@@ -173,6 +193,10 @@ class ShuffleTarget {
  private:
   /// Releases the held cursor (if any), tracking its exhaustion.
   void ReleaseHeld();
+  /// One failure-poll round while blocked: surfaces teardown (poison),
+  /// crashed sources (fault plan), or the flow deadline as kError; ticks
+  /// `wait`. Returns true when the consume call must stop.
+  bool CheckFailure(DeadlineWait* wait, ConsumeResult* out_result);
 
   std::shared_ptr<ShuffleFlowState> state_;
   const uint32_t target_index_;
@@ -183,6 +207,7 @@ class ShuffleTarget {
   int held_cursor_ = -1;  // cursor whose segment `current_` views
   SegmentView current_;
   uint32_t tuple_offset_ = 0;  // iteration state within current_
+  Status last_status_;
 };
 
 }  // namespace dfi

@@ -1,5 +1,6 @@
 #include "net/fabric.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
@@ -60,12 +61,36 @@ bool Switch::ShouldDrop() {
   return loss_rng_.NextBool(config_.multicast_loss_probability);
 }
 
+bool Switch::ShouldDropDelivery(uint64_t key, NodeId target,
+                                SimTime at) const {
+  double p = config_.multicast_loss_probability;
+  if (fault_plan_ != nullptr) p += fault_plan_->LossBoost(at);
+  if (p <= 0.0) return false;
+  p = std::min(p, 1.0);
+  const uint64_t h = SplitMix64(config_.loss_seed ^ SplitMix64(key) ^
+                                (static_cast<uint64_t>(target) << 32));
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < p;
+}
+
+bool Switch::ShouldReorderDelivery(uint64_t key, NodeId target) const {
+  const double p = config_.multicast_reorder_probability;
+  if (p <= 0.0) return false;
+  // Distinct stream from the drop decision (different seed constant).
+  const uint64_t h =
+      SplitMix64((config_.loss_seed ^ 0x7e07de7ull) ^ SplitMix64(key) ^
+                 (static_cast<uint64_t>(target) << 32));
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < std::min(p, 1.0);
+}
+
 size_t Switch::group_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return groups_.size();
 }
 
-Fabric::Fabric(SimConfig config) : config_(config), switch_(config_) {}
+Fabric::Fabric(SimConfig config)
+    : config_(config), fault_plan_(config_.loss_seed), switch_(config_) {
+  switch_.set_fault_plan(&fault_plan_);
+}
 
 StatusOr<NodeId> Fabric::AddNode(const std::string& address) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -75,6 +100,16 @@ StatusOr<NodeId> Fabric::AddNode(const std::string& address) {
   const NodeId id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(std::make_unique<Node>(id, address, config_));
   by_address_[address] = id;
+  // Degraded-link modeling: every reservation on this node's links asks the
+  // fault plan for the rate factor at its ready time. No-op (and nearly
+  // free) while the plan is empty.
+  Node* n = nodes_.back().get();
+  const double base_gbps = config_.link_gbps;
+  auto probe = [this, id, base_gbps](SimTime at) {
+    return fault_plan_.LinkRateFactor(id, at, base_gbps);
+  };
+  n->egress().set_rate_probe(probe);
+  n->ingress().set_rate_probe(probe);
   return id;
 }
 

@@ -11,13 +11,13 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "net/fault_plan.h"
 #include "net/link.h"
 #include "net/sim_config.h"
 
 namespace dfi::net {
 
-/// Identifies one emulated cluster node.
-using NodeId = uint32_t;
+// NodeId itself lives in fault_plan.h (included above) to avoid a cycle.
 inline constexpr NodeId kInvalidNode = UINT32_MAX;
 
 /// Identifies one multicast group on the switch.
@@ -70,6 +70,19 @@ class Switch {
   /// dropped (loss injection; deterministic for a given config seed).
   bool ShouldDrop();
 
+  /// Deterministic per-delivery drop decision: hashes (loss seed, `key`,
+  /// `target`) against the configured loss probability plus any fault-plan
+  /// loss burst active at virtual time `at`. Unlike ShouldDrop(), the
+  /// outcome does not depend on the order threads reach the switch, so a
+  /// given seed + plan drops the same deliveries on every run.
+  bool ShouldDropDelivery(uint64_t key, NodeId target, SimTime at) const;
+
+  /// Same hashing scheme for reorder injection (delays one delivery past
+  /// its successor; see UdQueuePair::Deliver).
+  bool ShouldReorderDelivery(uint64_t key, NodeId target) const;
+
+  void set_fault_plan(const FaultPlan* plan) { fault_plan_ = plan; }
+
   size_t group_count() const;
 
  private:
@@ -79,6 +92,7 @@ class Switch {
   };
 
   const SimConfig& config_;
+  const FaultPlan* fault_plan_ = nullptr;
   mutable std::mutex mu_;
   std::vector<Group> groups_;
   Xorshift128Plus loss_rng_;
@@ -109,8 +123,15 @@ class Fabric {
   Switch& network_switch() { return switch_; }
   const SimConfig& config() const { return config_; }
 
+  /// The fabric's fault script (empty by default). Schedule events before
+  /// starting the workload; every layer (links, switch, queue pairs, DFI
+  /// blocking paths) consults it at virtual operation times.
+  FaultPlan& fault_plan() { return fault_plan_; }
+  const FaultPlan& fault_plan() const { return fault_plan_; }
+
  private:
   const SimConfig config_;
+  FaultPlan fault_plan_;
   Switch switch_;
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Node>> nodes_;

@@ -16,8 +16,14 @@ LinkScheduler::LinkScheduler(std::string name, double bytes_per_ns)
 }
 
 TransferWindow LinkScheduler::Reserve(SimTime ready, uint64_t bytes) {
+  double ns_per_byte = ns_per_byte_;
+  if (rate_probe_) {
+    // Probe outside mu_: the probe may take the fault plan's lock.
+    const double factor = std::clamp(rate_probe_(ready), 1e-6, 1.0);
+    ns_per_byte /= factor;
+  }
   const SimTime duration = static_cast<SimTime>(
-      std::llround(static_cast<double>(bytes) * ns_per_byte_));
+      std::llround(static_cast<double>(bytes) * ns_per_byte));
   std::lock_guard<std::mutex> lock(mu_);
   busy_time_ += duration;
   total_bytes_ += bytes;

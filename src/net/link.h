@@ -2,6 +2,7 @@
 #define DFI_NET_LINK_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -42,6 +43,13 @@ class LinkScheduler {
   /// `ready` (virtual ns). Returns the occupied window.
   TransferWindow Reserve(SimTime ready, uint64_t bytes);
 
+  /// Rate multiplier in (0, 1] queried per reservation at its ready time;
+  /// fault plans use this to model link degradation (a 0.1 factor makes
+  /// every transfer 10x longer). Install during fabric wiring, before any
+  /// traffic; absent probe means full speed with no query cost.
+  using RateProbe = std::function<double(SimTime)>;
+  void set_rate_probe(RateProbe probe) { rate_probe_ = std::move(probe); }
+
   /// Virtual time at which the link becomes idle given current reservations.
   SimTime busy_until() const;
 
@@ -59,6 +67,7 @@ class LinkScheduler {
   const std::string name_;
   const double ns_per_byte_;
   const double bytes_per_ns_;
+  RateProbe rate_probe_;
 
   mutable std::mutex mu_;
   SimTime busy_until_ = 0;

@@ -49,6 +49,11 @@ struct SimConfig {
   double multicast_group_gbps = 68.0;
   /// Probability that one multicast delivery (per target) is dropped.
   double multicast_loss_probability = 0.0;
+  /// Probability that one multicast delivery (per target) is delayed past
+  /// its successor, arriving out of order at the receiver. Requires a flow
+  /// configuration that tolerates reordering (global ordering / gap
+  /// handling), like loss does.
+  double multicast_reorder_probability = 0.0;
   /// Maximum UD payload (InfiniBand MTU); larger sends are rejected.
   uint32_t ud_mtu_bytes = 4096;
   /// Seed for loss injection.

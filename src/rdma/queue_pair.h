@@ -36,13 +36,23 @@ class RcQueuePair {
   net::NodeId local_node() const { return local_; }
   net::NodeId remote_node() const { return remote_; }
 
+  /// QP error-state check against the fabric's fault plan: kPeerFailed if,
+  /// at virtual time `at`, either endpoint has crashed or a partition
+  /// separates them. Verbs posted on a failed connection do not vanish —
+  /// signaled ones complete with an error completion (success = false) and
+  /// the post returns this status, mirroring a real QP's transition to the
+  /// error state where outstanding WQEs are flushed with errors.
+  Status CheckConnected(SimTime at) const;
+
   /// Computes the virtual-time milestones of a write of `length` bytes
   /// posted now, reserving link capacity. Charges the post cost (plus the
   /// inline copy cost if `inlined`).
   OpTiming PlanWrite(uint32_t length, bool inlined, VirtualClock* clock);
 
   /// Executes a previously planned write: moves the bytes and, if
-  /// requested, pushes a completion stamped with `timing.ack`.
+  /// requested, pushes a completion stamped with `timing.ack`. On a failed
+  /// connection the bytes are not moved; a signaled WQE completes with an
+  /// error completion instead.
   Status CommitWrite(const WriteDesc& desc, const OpTiming& timing);
 
   /// PlanWrite + CommitWrite in one step.

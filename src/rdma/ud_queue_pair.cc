@@ -29,7 +29,7 @@ void UdQueuePair::PostRecv(void* buf, uint32_t length, uint64_t wr_id) {
 }
 
 bool UdQueuePair::Deliver(const void* buf, uint32_t length, SimTime arrival,
-                          net::NodeId src) {
+                          net::NodeId src, uint64_t key) {
   RecvWqe wqe;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -46,8 +46,26 @@ bool UdQueuePair::Deliver(const void* buf, uint32_t length, SimTime arrival,
   }
   DmaCopy(wqe.buf, buf, length);
   DFI_CHECK(recv_cq_ != nullptr) << "UD delivery on QP without recv CQ";
-  recv_cq_->Push(
-      Completion{wqe.wr_id, WorkType::kRecv, arrival, length, true, src});
+  const Completion completion{wqe.wr_id, WorkType::kRecv, arrival, length,
+                              true, src};
+  // Reorder injection: the payload landed (DMA happens at delivery time),
+  // but the completion may be held until the next delivery and then pushed
+  // *behind* it — the receiver observes genuine out-of-order arrival.
+  std::optional<Completion> release;
+  bool hold = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (held_completion_.has_value()) {
+      release = held_completion_;
+      held_completion_.reset();
+    } else if (env_->fabric().network_switch().ShouldReorderDelivery(key,
+                                                                     local_)) {
+      held_completion_ = completion;
+      hold = true;
+    }
+  }
+  if (!hold) recv_cq_->Push(completion);
+  if (release.has_value()) recv_cq_->Push(*release);
   return true;
 }
 
@@ -64,6 +82,15 @@ StatusOr<OpTiming> UdQueuePair::PostSend(uint32_t dst_qpn, const void* buf,
   if (dst == nullptr) {
     return Status::NotFound("UD QPN " + std::to_string(dst_qpn));
   }
+  const net::FaultPlan& plan = env_->fabric().fault_plan();
+  if (plan.active() && !plan.NodeAlive(local_, clock->now())) {
+    if (signaled && send_cq_ != nullptr) {
+      send_cq_->Push(Completion{wr_id, WorkType::kSend, clock->now(), length,
+                                false, local_});
+    }
+    return Status::PeerFailed("local node " + std::to_string(local_) +
+                              " crashed");
+  }
   clock->Advance(cfg.post_wqe_ns + cfg.ud_send_overhead_ns);
 
   OpTiming t;
@@ -79,8 +106,13 @@ StatusOr<OpTiming> UdQueuePair::PostSend(uint32_t dst_qpn, const void* buf,
   t.arrival = ingress.end;
   t.ack = egress.end;  // UD send completes locally once on the wire.
 
-  if (!fabric.network_switch().ShouldDrop()) {
-    dst->Deliver(buf, length, t.arrival, local_);
+  // Unreliable semantics: datagrams to a crashed or partitioned node simply
+  // vanish — the sender still gets its (successful) send completion.
+  const bool target_ok =
+      !plan.active() || (plan.NodeAlive(dst->node(), t.arrival) &&
+                         plan.Reachable(local_, dst->node(), t.arrival));
+  if (target_ok && !fabric.network_switch().ShouldDrop()) {
+    dst->Deliver(buf, length, t.arrival, local_, wr_id);
   }
   if (signaled) {
     DFI_CHECK(send_cq_ != nullptr) << "signaled UD send without send CQ";
@@ -102,6 +134,15 @@ StatusOr<OpTiming> UdQueuePair::PostSendMulticast(net::MulticastGroupId group,
                                    " exceeds MTU " +
                                    std::to_string(cfg.ud_mtu_bytes));
   }
+  const net::FaultPlan& plan = env_->fabric().fault_plan();
+  if (plan.active() && !plan.NodeAlive(local_, clock->now())) {
+    if (signaled && send_cq_ != nullptr) {
+      send_cq_->Push(Completion{wr_id, WorkType::kSend, clock->now(), length,
+                                false, local_});
+    }
+    return Status::PeerFailed("local node " + std::to_string(local_) +
+                              " crashed");
+  }
   clock->Advance(cfg.post_wqe_ns + cfg.ud_send_overhead_ns);
 
   OpTiming t;
@@ -122,8 +163,18 @@ StatusOr<OpTiming> UdQueuePair::PostSendMulticast(net::MulticastGroupId group,
         fabric.node(qp->node()).ingress().Reserve(grp.end, length);
     const SimTime arrival = ingress.end + cfg.propagation_ns / 2;
     last_arrival = std::max(last_arrival, arrival);
-    if (fabric.network_switch().ShouldDrop()) continue;
-    qp->Deliver(buf, length, arrival, local_);
+    // Deliveries to crashed or partitioned members vanish silently.
+    if (plan.active() && (!plan.NodeAlive(qp->node(), arrival) ||
+                          !plan.Reachable(local_, qp->node(), arrival))) {
+      continue;
+    }
+    // Loss is decided per (message, target) by a deterministic hash, so a
+    // given seed drops the same deliveries regardless of thread timing.
+    if (fabric.network_switch().ShouldDropDelivery(wr_id, qp->node(),
+                                                   arrival)) {
+      continue;
+    }
+    qp->Deliver(buf, length, arrival, local_, wr_id);
   }
   t.arrival = last_arrival;
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <optional>
 
 #include "common/sim_time.h"
 #include "common/status.h"
@@ -72,9 +73,12 @@ class UdQueuePair {
 
   /// Called by a sender's PostSend*: consume one recv WQE and place the
   /// payload; pushes a recv completion stamped `arrival`. Returns false if
-  /// dropped (no recv posted or payload too large for the buffer).
+  /// dropped (no recv posted or payload too large for the buffer). `key`
+  /// identifies the message for deterministic reorder injection: a
+  /// reordered delivery's completion is held back and surfaces *after* the
+  /// next delivery's, emulating out-of-order datagram arrival.
   bool Deliver(const void* buf, uint32_t length, SimTime arrival,
-               net::NodeId src);
+               net::NodeId src, uint64_t key);
 
   RdmaEnv* const env_;
   const net::NodeId local_;
@@ -84,6 +88,11 @@ class UdQueuePair {
 
   mutable std::mutex mu_;
   std::deque<RecvWqe> recv_queue_;
+  /// Completion held back by reorder injection; released (after the newer
+  /// completion) by the next delivery. A tail-of-flow hold never releases,
+  /// which ordered flows absorb through their gap machinery — the same
+  /// contract as loss injection.
+  std::optional<Completion> held_completion_;
   std::atomic<uint64_t> drops_no_recv_{0};
 };
 

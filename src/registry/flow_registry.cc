@@ -6,15 +6,101 @@ namespace dfi {
 
 Status FlowRegistry::Publish(const std::string& name,
                              std::shared_ptr<FlowStateBase> state) {
+  return PublishWithLease(name, std::move(state), /*lease_expiry=*/0);
+}
+
+Status FlowRegistry::PublishWithLease(const std::string& name,
+                                      std::shared_ptr<FlowStateBase> state,
+                                      SimTime lease_expiry) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (flows_.count(name) != 0) {
       return Status::AlreadyExists("flow '" + name + "'");
     }
-    flows_.emplace(name, std::move(state));
+    Entry entry;
+    entry.state = std::move(state);
+    entry.lease_expiry = lease_expiry;
+    flows_.emplace(name, std::move(entry));
   }
   cv_.notify_all();
   return Status::OK();
+}
+
+void FlowRegistry::FailLocked(Entry* entry, const Status& cause) {
+  entry->failed = true;
+  entry->fail_cause =
+      cause.ok() ? Status::PeerFailed("flow publisher failed") : cause;
+  // Unwind blocked participants. Abort is idempotent and takes no registry
+  // locks, so calling it under mu_ is safe.
+  if (entry->state != nullptr) entry->state->Abort(entry->fail_cause);
+}
+
+Status FlowRegistry::RenewLease(const std::string& name,
+                                SimTime new_expiry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = flows_.find(name);
+  if (it == flows_.end()) {
+    return Status::NotFound("flow '" + name + "'");
+  }
+  if (it->second.failed) {
+    return Status::FailedPrecondition("flow '" + name +
+                                      "' already marked failed");
+  }
+  it->second.lease_expiry = new_expiry;
+  return Status::OK();
+}
+
+Status FlowRegistry::MarkFailed(const std::string& name,
+                                const Status& cause) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = flows_.find(name);
+    if (it == flows_.end()) {
+      return Status::NotFound("flow '" + name + "'");
+    }
+    if (!it->second.failed) FailLocked(&it->second, cause);
+  }
+  cv_.notify_all();
+  return Status::OK();
+}
+
+size_t FlowRegistry::MarkExpired(SimTime now) {
+  size_t newly_failed = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, entry] : flows_) {
+      if (entry.failed || entry.lease_expiry == 0 ||
+          now < entry.lease_expiry) {
+        continue;
+      }
+      FailLocked(&entry,
+                 Status::PeerFailed("flow '" + name + "' lease expired at " +
+                                    std::to_string(entry.lease_expiry) +
+                                    "ns"));
+      ++newly_failed;
+    }
+  }
+  if (newly_failed > 0) cv_.notify_all();
+  return newly_failed;
+}
+
+bool FlowRegistry::PublisherAlive(const std::string& name, SimTime now) {
+  bool fail_now = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = flows_.find(name);
+    if (it == flows_.end()) return false;
+    Entry& entry = it->second;
+    if (entry.failed) return false;
+    if (entry.lease_expiry == 0 || now < entry.lease_expiry) return true;
+    FailLocked(&entry,
+               Status::PeerFailed("flow '" + name + "' lease expired at " +
+                                  std::to_string(entry.lease_expiry) +
+                                  "ns"));
+    fail_now = true;
+  }
+  if (fail_now) cv_.notify_all();
+  return false;
 }
 
 StatusOr<std::shared_ptr<FlowStateBase>> FlowRegistry::Retrieve(
@@ -24,7 +110,8 @@ StatusOr<std::shared_ptr<FlowStateBase>> FlowRegistry::Retrieve(
   if (it == flows_.end()) {
     return Status::NotFound("flow '" + name + "'");
   }
-  return it->second;
+  if (it->second.failed) return it->second.fail_cause;
+  return it->second.state;
 }
 
 StatusOr<std::shared_ptr<FlowStateBase>> FlowRegistry::RetrieveBlocking(
@@ -32,9 +119,12 @@ StatusOr<std::shared_ptr<FlowStateBase>> FlowRegistry::RetrieveBlocking(
   std::unique_lock<std::mutex> lock(mu_);
   if (!cv_.wait_for(lock, timeout,
                     [&] { return flows_.count(name) != 0; })) {
-    return Status::Unavailable("flow '" + name + "' not published in time");
+    return Status::DeadlineExceeded("flow '" + name +
+                                    "' not published in time");
   }
-  return flows_.at(name);
+  const Entry& entry = flows_.at(name);
+  if (entry.failed) return entry.fail_cause;
+  return entry.state;
 }
 
 Status FlowRegistry::Remove(const std::string& name) {

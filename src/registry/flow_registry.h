@@ -8,6 +8,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/sim_time.h"
 #include "common/status.h"
 
 namespace dfi {
@@ -17,6 +18,11 @@ namespace dfi {
 class FlowStateBase {
  public:
   virtual ~FlowStateBase() = default;
+
+  /// Tears the flow down (fault handling): implementations poison their
+  /// channels so every participant's next operation fails with `cause`.
+  /// Default is a no-op for states with nothing to tear down.
+  virtual void Abort(const Status& cause) { (void)cause; }
 };
 
 /// Central flow-metadata registry (the paper's "central registry, e.g. a
@@ -39,12 +45,42 @@ class FlowRegistry {
   Status Publish(const std::string& name,
                  std::shared_ptr<FlowStateBase> state);
 
-  /// Retrieves a flow's state; NotFound if absent.
+  /// Publishes a flow with a liveness lease: the publisher promises to
+  /// renew before `lease_expiry` (virtual time). Once the lease lapses —
+  /// established by MarkExpired(now) or any PublisherAlive(name, now) probe
+  /// past the expiry — the flow counts as failed and retrievals return
+  /// kPeerFailed. `lease_expiry == 0` means no lease (same as Publish).
+  Status PublishWithLease(const std::string& name,
+                          std::shared_ptr<FlowStateBase> state,
+                          SimTime lease_expiry);
+
+  /// Extends a leased flow's expiry (heartbeat). NotFound if absent;
+  /// FailedPrecondition if the flow was already marked failed.
+  Status RenewLease(const std::string& name, SimTime new_expiry);
+
+  /// Marks a flow's publisher as failed (crash detection, e.g. by a fault
+  /// plan or an operator) and aborts the flow state so blocked
+  /// participants unwind. Subsequent retrievals fail with `cause`.
+  Status MarkFailed(const std::string& name, const Status& cause);
+
+  /// Fails every leased flow whose lease expired at or before `now`
+  /// (virtual time); returns how many flows were newly failed. The
+  /// emulation's stand-in for the registry's background lease scrubber.
+  size_t MarkExpired(SimTime now);
+
+  /// True while the flow is published and not failed, and (when leased) the
+  /// lease covers `now`. A probe past the expiry fails the flow as a side
+  /// effect, so liveness answers are monotonic.
+  bool PublisherAlive(const std::string& name, SimTime now);
+
+  /// Retrieves a flow's state; NotFound if absent, kPeerFailed (the
+  /// MarkFailed cause) if its publisher failed.
   StatusOr<std::shared_ptr<FlowStateBase>> Retrieve(
       const std::string& name) const;
 
-  /// Blocking retrieve: waits until the flow is published (or the timeout
-  /// expires).
+  /// Blocking retrieve: waits until the flow is published. Fails with
+  /// kDeadlineExceeded once the timeout elapses (the caller's bounded
+  /// retrieve deadline, not a transient unavailability).
   StatusOr<std::shared_ptr<FlowStateBase>> RetrieveBlocking(
       const std::string& name,
       std::chrono::milliseconds timeout = std::chrono::milliseconds(10000))
@@ -56,9 +92,19 @@ class FlowRegistry {
   size_t size() const;
 
  private:
+  struct Entry {
+    std::shared_ptr<FlowStateBase> state;
+    SimTime lease_expiry = 0;  // 0 = no lease
+    bool failed = false;
+    Status fail_cause;
+  };
+
+  /// Marks `entry` failed and aborts its state. Caller holds mu_.
+  static void FailLocked(Entry* entry, const Status& cause);
+
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
-  std::unordered_map<std::string, std::shared_ptr<FlowStateBase>> flows_;
+  std::unordered_map<std::string, Entry> flows_;
 };
 
 }  // namespace dfi

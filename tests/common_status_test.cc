@@ -31,6 +31,19 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_EQ(Status::Unavailable("").code(), StatusCode::kUnavailable);
   EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::Unimplemented("").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::DeadlineExceeded("").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::PeerFailed("").code(), StatusCode::kPeerFailed);
+  EXPECT_EQ(Status::Aborted("").code(), StatusCode::kAborted);
+}
+
+TEST(StatusTest, FailureCodesStringify) {
+  EXPECT_EQ(Status::DeadlineExceeded("remote ring full").ToString(),
+            "DeadlineExceeded: remote ring full");
+  EXPECT_EQ(Status::PeerFailed("node 2 crashed").ToString(),
+            "PeerFailed: node 2 crashed");
+  EXPECT_EQ(Status::Aborted("flow torn down").ToString(),
+            "Aborted: flow torn down");
 }
 
 TEST(StatusTest, Equality) {

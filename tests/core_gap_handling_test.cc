@@ -8,6 +8,7 @@
 
 #include <thread>
 
+#include "common/units.h"
 #include "core/dfi_runtime.h"
 #include "core/replicate_flow.h"
 
@@ -16,9 +17,10 @@ namespace {
 
 class GapHandlingTest : public ::testing::Test {
  protected:
-  void Init(double loss, uint64_t seed) {
+  void Init(double loss, uint64_t seed, double reorder = 0.0) {
     net::SimConfig cfg;
     cfg.multicast_loss_probability = loss;
+    cfg.multicast_reorder_probability = reorder;
     cfg.loss_seed = seed;
     fabric_ = std::make_unique<net::Fabric>(cfg);
     fabric_->AddNodes(3);
@@ -113,6 +115,61 @@ TEST_F(GapHandlingTest, GapsSurfacedAndSkippable) {
     EXPECT_GT(gaps_seen[t], 0u) << "15% loss must surface gaps";
     EXPECT_EQ(delivered[t] + gaps_seen[t], 150u)
         << "every data sequence either delivered or explicitly skipped";
+  }
+}
+
+// Robustness PR: bursty loss scripted through the FaultPlan (no base loss
+// at all — every drop comes from LossBurst windows, up to 0.2) combined
+// with reorder injection. Delivered sequences must stay strictly ordered,
+// and every data sequence must be either delivered or explicitly skipped;
+// reordered stragglers that arrive after their gap was skipped are
+// discarded as duplicates, never delivered out of order.
+TEST_F(GapHandlingTest, BurstyFaultPlanLossWithReorderStaysOrdered) {
+  Init(/*loss=*/0.0, /*seed=*/33, /*reorder=*/0.1);
+  fabric_->fault_plan().LossBurst(0, 50 * kMicrosecond, 0.2);
+  fabric_->fault_plan().LossBurst(100 * kMicrosecond, kSecond, 0.15);
+  constexpr uint64_t kMessages = 250;
+  std::thread producer([&] {
+    auto src = dfi_->CreateReplicateSource("gap", 0);
+    for (uint64_t k = 0; k < kMessages; ++k) {
+      ASSERT_TRUE((*src)->Push(&k).ok());
+    }
+    ASSERT_TRUE((*src)->Close().ok());
+  });
+  std::vector<uint64_t> gaps_seen(2, 0);
+  std::vector<std::thread> consumers;
+  for (uint32_t t = 0; t < 2; ++t) {
+    consumers.emplace_back([&, t] {
+      auto tgt = dfi_->CreateReplicateTarget("gap", t);
+      SegmentView seg;
+      uint64_t delivered = 0;
+      uint64_t last_seq = 0;
+      bool first = true;
+      while (delivered + gaps_seen[t] < kMessages) {
+        const ConsumeResult r = (*tgt)->ConsumeSegment(&seg);
+        ASSERT_NE(r, ConsumeResult::kFlowEnd);
+        ASSERT_NE(r, ConsumeResult::kError);
+        if (r == ConsumeResult::kGap) {
+          ++gaps_seen[t];
+          (*tgt)->SkipGap();
+          continue;
+        }
+        if (!first) {
+          ASSERT_GT(seg.sequence, last_seq)
+              << "loss bursts + reorder must not break ordering";
+        }
+        first = false;
+        last_seq = seg.sequence;
+        ++delivered;
+      }
+      EXPECT_EQ(delivered + gaps_seen[t], kMessages);
+    });
+  }
+  producer.join();
+  for (auto& th : consumers) th.join();
+  for (uint32_t t = 0; t < 2; ++t) {
+    EXPECT_GT(gaps_seen[t], 0u)
+        << "the scripted loss bursts must surface gaps";
   }
 }
 

@@ -1,0 +1,131 @@
+// FaultPlan: deterministic, virtual-time-scheduled fault injection
+// (robustness PR). Two identically-built plans must produce identical
+// event traces and identical per-delivery drop decisions — queries are
+// pure functions of (plan, seed, virtual time), never of wall-clock
+// scheduling.
+
+#include "net/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+namespace dfi::net {
+namespace {
+
+void BuildScript(FaultPlan* plan) {
+  plan->CrashNode(2, 2'000'000);
+  plan->DegradeLink(0, 500'000, 10.0);
+  plan->RestoreLink(0, 1'500'000);
+  plan->LossBurst(1'000'000, 1'500'000, 0.3);
+  plan->Partition({3, 4}, 700'000);
+  plan->Heal(900'000);
+}
+
+TEST(FaultPlanTest, InactiveByDefault) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.active());
+  EXPECT_TRUE(plan.NodeAlive(0, FaultPlan::kNever - 1));
+  EXPECT_EQ(plan.CrashTime(0), FaultPlan::kNever);
+  EXPECT_TRUE(plan.Reachable(0, 1, 123));
+  EXPECT_EQ(plan.LinkRateFactor(0, 123, 100.0), 1.0);
+  EXPECT_EQ(plan.LossBoost(123), 0.0);
+  EXPECT_EQ(plan.TraceString(), "");
+}
+
+TEST(FaultPlanTest, SamePlanSameSeedYieldsIdenticalTraceAndDecisions) {
+  FaultPlan a(42), b(42);
+  BuildScript(&a);
+  BuildScript(&b);
+  ASSERT_NE(a.TraceString(), "");
+  EXPECT_EQ(a.TraceString(), b.TraceString());
+  // Per-delivery decisions hash (seed, key): identical across instances,
+  // independent of how many queries happened before (no shared RNG whose
+  // draw order depends on thread timing).
+  for (uint64_t key = 0; key < 2000; ++key) {
+    EXPECT_EQ(a.ShouldDropDelivery(key, 0.3),
+              b.ShouldDropDelivery(key, 0.3));
+  }
+  // ...and a different seed makes different decisions (statistically).
+  FaultPlan c(43);
+  BuildScript(&c);
+  uint32_t differing = 0;
+  for (uint64_t key = 0; key < 2000; ++key) {
+    differing += a.ShouldDropDelivery(key, 0.3) !=
+                 c.ShouldDropDelivery(key, 0.3);
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+TEST(FaultPlanTest, TraceOrdersByVirtualTimeNotInsertion) {
+  FaultPlan plan;
+  plan.Heal(900);    // inserted first, fires last
+  plan.CrashNode(1, 100);
+  EXPECT_EQ(plan.TraceString(), "@100ns crash node=1\n@900ns heal\n");
+  ASSERT_EQ(plan.Events().size(), 2u);
+  EXPECT_EQ(plan.Events()[0].type, FaultEventType::kNodeCrash);
+}
+
+TEST(FaultPlanTest, NodeAliveFlipsExactlyAtCrashTime) {
+  FaultPlan plan;
+  plan.CrashNode(2, 2'000'000);
+  EXPECT_TRUE(plan.NodeAlive(2, 1'999'999));
+  EXPECT_FALSE(plan.NodeAlive(2, 2'000'000));
+  EXPECT_FALSE(plan.NodeAlive(2, FaultPlan::kNever - 1));
+  EXPECT_TRUE(plan.NodeAlive(0, 2'000'000)) << "other nodes unaffected";
+  EXPECT_EQ(plan.CrashTime(2), 2'000'000);
+  // A second crash of the same node keeps the earliest time (fail-stop:
+  // a node cannot die twice, the first death wins).
+  plan.CrashNode(2, 1'000'000);
+  EXPECT_EQ(plan.CrashTime(2), 1'000'000);
+  plan.CrashNode(2, 3'000'000);
+  EXPECT_EQ(plan.CrashTime(2), 1'000'000);
+}
+
+TEST(FaultPlanTest, PartitionSeparatesIslandUntilHeal) {
+  FaultPlan plan;
+  plan.Partition({3, 4}, 700);
+  plan.Heal(900);
+  EXPECT_TRUE(plan.Reachable(0, 3, 699)) << "before the partition";
+  EXPECT_FALSE(plan.Reachable(0, 3, 700));
+  EXPECT_FALSE(plan.Reachable(3, 0, 800)) << "symmetric";
+  EXPECT_TRUE(plan.Reachable(3, 4, 800)) << "within the island";
+  EXPECT_TRUE(plan.Reachable(0, 1, 800)) << "within the mainland";
+  EXPECT_TRUE(plan.Reachable(0, 3, 900)) << "healed";
+  EXPECT_TRUE(plan.Reachable(5, 5, 800)) << "self always reachable";
+}
+
+TEST(FaultPlanTest, LinkRateFactorFollowsDegradeAndRestore) {
+  FaultPlan plan;
+  plan.DegradeLink(0, 500, 10.0);
+  plan.RestoreLink(0, 1500);
+  EXPECT_EQ(plan.LinkRateFactor(0, 499, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(plan.LinkRateFactor(0, 500, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(plan.LinkRateFactor(0, 1499, 100.0), 0.1);
+  EXPECT_EQ(plan.LinkRateFactor(0, 1500, 100.0), 1.0);
+  EXPECT_EQ(plan.LinkRateFactor(1, 800, 100.0), 1.0) << "other node";
+}
+
+TEST(FaultPlanTest, LossBoostCoversBurstWindowOnly) {
+  FaultPlan plan;
+  plan.LossBurst(1000, 1500, 0.3);
+  plan.LossBurst(1200, 1300, 0.1);  // overlapping weaker burst
+  EXPECT_EQ(plan.LossBoost(999), 0.0);
+  EXPECT_DOUBLE_EQ(plan.LossBoost(1000), 0.3);
+  EXPECT_DOUBLE_EQ(plan.LossBoost(1250), 0.3) << "strongest burst wins";
+  EXPECT_DOUBLE_EQ(plan.LossBoost(1499), 0.3);
+  EXPECT_EQ(plan.LossBoost(1500), 0.0) << "half-open interval";
+}
+
+TEST(FaultPlanTest, DropDecisionsMatchProbabilityRoughly) {
+  FaultPlan plan(7);
+  uint32_t dropped = 0;
+  const uint32_t n = 20000;
+  for (uint64_t key = 0; key < n; ++key) {
+    if (plan.ShouldDropDelivery(key, 0.2)) ++dropped;
+  }
+  EXPECT_NEAR(dropped / static_cast<double>(n), 0.2, 0.02);
+  EXPECT_FALSE(plan.ShouldDropDelivery(1, 0.0));
+  EXPECT_TRUE(plan.ShouldDropDelivery(1, 1.0));
+}
+
+}  // namespace
+}  // namespace dfi::net

@@ -9,7 +9,13 @@ namespace {
 
 struct DummyState : FlowStateBase {
   explicit DummyState(int v) : value(v) {}
+  void Abort(const Status& cause) override {
+    aborted = true;
+    abort_cause = cause;
+  }
   int value;
+  bool aborted = false;
+  Status abort_cause;
 };
 
 TEST(FlowRegistryTest, PublishAndRetrieve) {
@@ -55,10 +61,64 @@ TEST(FlowRegistryTest, RetrieveBlockingWaitsForPublish) {
   EXPECT_EQ(std::static_pointer_cast<DummyState>(*s)->value, 9);
 }
 
-TEST(FlowRegistryTest, RetrieveBlockingTimesOut) {
+// Regression (robustness PR): a bounded retrieve that never sees the flow
+// published reports the caller's elapsed deadline, not a transient
+// kUnavailable.
+TEST(FlowRegistryTest, RetrieveBlockingTimesOutWithDeadlineExceeded) {
   FlowRegistry registry;
   auto s = registry.RetrieveBlocking("never", std::chrono::milliseconds(20));
-  EXPECT_EQ(s.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(FlowRegistryTest, LeaseKeepsPublisherAliveUntilExpiry) {
+  FlowRegistry registry;
+  ASSERT_TRUE(registry
+                  .PublishWithLease("f", std::make_shared<DummyState>(1),
+                                    /*lease_expiry=*/1000)
+                  .ok());
+  EXPECT_TRUE(registry.PublisherAlive("f", 999));
+  ASSERT_TRUE(registry.RenewLease("f", 5000).ok());
+  EXPECT_TRUE(registry.PublisherAlive("f", 4999));
+  // The lapsed lease fails the flow; the answer is sticky even for earlier
+  // probe times afterwards.
+  EXPECT_FALSE(registry.PublisherAlive("f", 5000));
+  EXPECT_FALSE(registry.PublisherAlive("f", 0));
+  EXPECT_EQ(registry.Retrieve("f").status().code(), StatusCode::kPeerFailed);
+  EXPECT_EQ(registry.RenewLease("f", 9000).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(FlowRegistryTest, MarkExpiredScrubsLapsedLeasesAndAbortsState) {
+  FlowRegistry registry;
+  auto leased = std::make_shared<DummyState>(1);
+  auto unleased = std::make_shared<DummyState>(2);
+  ASSERT_TRUE(registry.PublishWithLease("leased", leased, 100).ok());
+  ASSERT_TRUE(registry.Publish("unleased", unleased).ok());
+  EXPECT_EQ(registry.MarkExpired(99), 0u);
+  EXPECT_EQ(registry.MarkExpired(100), 1u);
+  EXPECT_EQ(registry.MarkExpired(100), 0u);  // idempotent
+  EXPECT_TRUE(leased->aborted);
+  EXPECT_EQ(leased->abort_cause.code(), StatusCode::kPeerFailed);
+  EXPECT_FALSE(unleased->aborted);
+  EXPECT_TRUE(registry.PublisherAlive("unleased", 1 << 30));
+}
+
+TEST(FlowRegistryTest, MarkFailedAbortsStateAndPoisonsRetrieve) {
+  FlowRegistry registry;
+  auto state = std::make_shared<DummyState>(7);
+  ASSERT_TRUE(registry.Publish("f", state).ok());
+  const Status cause = Status::PeerFailed("node 3 crashed");
+  ASSERT_TRUE(registry.MarkFailed("f", cause).ok());
+  EXPECT_TRUE(state->aborted);
+  auto r = registry.Retrieve("f");
+  EXPECT_EQ(r.status().code(), StatusCode::kPeerFailed);
+  EXPECT_FALSE(registry.PublisherAlive("f", 0));
+  // A failed flow also fails blocking retrieves immediately (it is
+  // published, just dead).
+  auto rb = registry.RetrieveBlocking("f", std::chrono::milliseconds(1000));
+  EXPECT_EQ(rb.status().code(), StatusCode::kPeerFailed);
+  EXPECT_EQ(registry.MarkFailed("nope", cause).code(),
+            StatusCode::kNotFound);
 }
 
 }  // namespace
