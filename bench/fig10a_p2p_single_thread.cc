@@ -76,10 +76,16 @@ void Run() {
   TablePrinter table({"tuple size", "DFI bandwidth-opt", "DFI latency-opt",
                       "MPI Send/Recv"});
   for (uint32_t size : {16u, 64u, 256u, 1024u, 4096u, 16384u}) {
-    table.AddRow({FormatBytes(size),
-                  Millis(RunDfi(size, FlowOptimization::kBandwidth)),
+    const SimTime dfi_bw = RunDfi(size, FlowOptimization::kBandwidth);
+    const SimTime mpi = RunMpi(size);
+    table.AddRow({FormatBytes(size), Millis(dfi_bw),
                   Millis(RunDfi(size, FlowOptimization::kLatency)),
-                  Millis(RunMpi(size))});
+                  Millis(mpi)});
+    if (size == 16u) {
+      RecordMetric("MPI / DFI bandwidth-opt runtime ratio (16 B)",
+                   static_cast<double>(mpi) / static_cast<double>(dfi_bw),
+                   "x");
+    }
   }
   table.Print();
   std::printf(

@@ -139,10 +139,16 @@ void Run() {
   TablePrinter table({"sender threads", "DFI bandwidth-opt",
                       "MPI multi-threaded", "MPI multi-process"});
   for (uint32_t threads_count : {1u, 2u, 4u, 8u}) {
-    table.AddRow({std::to_string(threads_count),
-                  Millis(RunDfi(threads_count)),
-                  Millis(RunMpiMultiThreaded(threads_count)),
+    const SimTime dfi = RunDfi(threads_count);
+    const SimTime mpi_mt = RunMpiMultiThreaded(threads_count);
+    table.AddRow({std::to_string(threads_count), Millis(dfi),
+                  Millis(mpi_mt),
                   Millis(RunMpiMultiProcess(threads_count))});
+    if (threads_count == 8u) {
+      RecordMetric("MPI multi-threaded / DFI runtime ratio (8 threads)",
+                   static_cast<double>(mpi_mt) / static_cast<double>(dfi),
+                   "x");
+    }
   }
   table.Print();
   std::printf(

@@ -114,6 +114,12 @@ void Run() {
     const SimTime m = RunMpi(size);
     table.AddRow({FormatBytes(size), Millis(d), Rate(total, d), Millis(m),
                   Rate(total, m)});
+    if (size == 64u) {
+      RecordMetric("MPI / DFI shuffle runtime ratio (64 B)",
+                   static_cast<double>(m) / static_cast<double>(d), "x");
+      RecordMetric("DFI shuffle bandwidth (64 B)",
+                   total / static_cast<double>(d) * 1e9 / kGiB, "GiB/s");
+    }
   }
   table.Print();
   std::printf(

@@ -130,10 +130,12 @@ void Run() {
         Cell{"s=0.5, T=512 MiB", 512 * kMiB, 0.5}}) {
     const SimTime m = RunMpi(cell.bytes, cell.s);
     const SimTime d = RunDfi(cell.bytes, cell.s);
+    const double ratio = static_cast<double>(m) / static_cast<double>(d);
     char speedup[32];
-    std::snprintf(speedup, sizeof(speedup), "%.2fx",
-                  static_cast<double>(m) / static_cast<double>(d));
+    std::snprintf(speedup, sizeof(speedup), "%.2fx", ratio);
     table.AddRow({cell.name, Millis(m), Millis(d), speedup});
+    RecordMetric(std::string("DFI straggler speedup, ") + cell.name, ratio,
+                 "x");
   }
   table.Print();
   std::printf(

@@ -59,6 +59,12 @@ void Run() {
   table.AddRow({"TOTAL", Millis(mpi_result.phases.total),
                 Millis(dfi_result.phases.total)});
   table.Print();
+  RecordMetric("MPI / DFI total runtime ratio",
+               static_cast<double>(mpi_result.phases.total) /
+                   static_cast<double>(dfi_result.phases.total),
+               "x");
+  RecordMetric("join matches",
+               static_cast<double>(dfi_result.matches), "matches");
   std::printf("join matches: %llu (both variants)\n",
               static_cast<unsigned long long>(dfi_result.matches));
   std::printf(

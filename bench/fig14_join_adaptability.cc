@@ -69,6 +69,12 @@ void Run() {
                 Millis(radix_result.phases.total),
                 Millis(repl_result.phases.total)});
   table.Print();
+  RecordMetric("MPI / DFI replicate-join total runtime ratio",
+               static_cast<double>(mpi_result.phases.total) /
+                   static_cast<double>(repl_result.phases.total),
+               "x");
+  RecordMetric("join matches",
+               static_cast<double>(repl_result.matches), "matches");
   std::printf("join matches: %llu (all variants)\n",
               static_cast<unsigned long long>(repl_result.matches));
   std::printf(

@@ -18,6 +18,7 @@ using consensus::ConsensusResult;
 
 template <typename Fn>
 void Sweep(const char* name, Fn run, TablePrinter* table) {
+  double peak_rps = 0;
   for (SimTime think : {40'000, 20'000, 10'000, 5'000, 2'000, 500, 0}) {
     ConsensusConfig cfg;
     cfg.requests_per_client = 1500;
@@ -35,7 +36,9 @@ void Sweep(const char* name, Fn run, TablePrinter* table) {
     table->AddRow({name, Micros(think), Num(r->throughput_rps),
                    Micros(r->median_latency_ns),
                    Micros(r->p95_latency_ns)});
+    if (r->throughput_rps > peak_rps) peak_rps = r->throughput_rps;
   }
+  RecordMetric(std::string("peak throughput, ") + name, peak_rps, "req/s");
 }
 
 void Run() {

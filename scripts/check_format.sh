@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Formatting gate for CI. Uses clang-format (.clang-format at the repo
+# root) when available; otherwise falls back to a lightweight lint that
+# catches the violations clang-format would flag loudest — tabs, trailing
+# whitespace, CRLF line endings, and a missing final newline.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+mapfile -t FILES < <(git ls-files '*.h' '*.cc')
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  echo "no C++ sources tracked"
+  exit 0
+fi
+
+if command -v clang-format >/dev/null 2>&1; then
+  echo "checking ${#FILES[@]} files with $(clang-format --version)"
+  clang-format --dry-run -Werror "${FILES[@]}"
+  echo "format check passed (clang-format)"
+  exit 0
+fi
+
+echo "clang-format not found; running fallback lint on ${#FILES[@]} files"
+fail=0
+for f in "${FILES[@]}"; do
+  if grep -nP '\t' "$f" >/dev/null; then
+    echo "$f: tab character (use spaces)"
+    grep -nP '\t' "$f" | head -3
+    fail=1
+  fi
+  if grep -nP ' +$' "$f" >/dev/null; then
+    echo "$f: trailing whitespace"
+    grep -nP ' +$' "$f" | head -3
+    fail=1
+  fi
+  if grep -nP '\r$' "$f" >/dev/null; then
+    echo "$f: CRLF line ending"
+    fail=1
+  fi
+  if [[ -s "$f" && -n "$(tail -c 1 "$f")" ]]; then
+    echo "$f: missing final newline"
+    fail=1
+  fi
+done
+if [[ $fail -ne 0 ]]; then
+  echo "format check FAILED (fallback lint)"
+  exit 1
+fi
+echo "format check passed (fallback lint)"

@@ -18,5 +18,9 @@ export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1:detect_leaks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 
 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+# The unified transport layer (FlowEndpoint/FlowSink) concentrates the
+# ring/teardown lifetime hazards the sanitizers exist for — rerun its suite
+# standalone with shuffling and repetition to shake out latent races.
+"$BUILD/tests/core_endpoint_test" --gtest_repeat=5 --gtest_shuffle
 "$BUILD/bench/chaos_consensus" --seed "${DFI_CHAOS_SEED:-7}"
-echo "sanitized ($KIND) tier-1 + chaos suite passed"
+echo "sanitized ($KIND) tier-1 + endpoint + chaos suite passed"

@@ -13,9 +13,15 @@ struct JsonTable {
   std::vector<std::string> header;
   std::vector<std::vector<std::string>> rows;
 };
+struct JsonMetric {
+  std::string name;
+  double value = 0;
+  std::string unit;
+};
 struct JsonSection {
   std::string title;
   std::vector<JsonTable> tables;
+  std::vector<JsonMetric> metrics;
 };
 struct Collector {
   bool enabled = false;
@@ -120,7 +126,15 @@ void TablePrinter::Print() const {
 void PrintSection(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
   Collector& c = collector();
-  if (c.enabled) c.sections.push_back(JsonSection{title, {}});
+  if (c.enabled) c.sections.push_back(JsonSection{title, {}, {}});
+}
+
+void RecordMetric(const std::string& name, double value,
+                  const std::string& unit) {
+  Collector& c = collector();
+  if (!c.enabled) return;
+  if (c.sections.empty()) c.sections.emplace_back();
+  c.sections.back().metrics.push_back(JsonMetric{name, value, unit});
 }
 
 void EnableResultCapture() { collector().enabled = true; }
@@ -146,6 +160,20 @@ bool WriteJsonResults(const std::string& path) {
         AppendJsonStringArray(&out, tables[t].rows[r]);
       }
       out += "]}";
+    }
+    out += "],\"metrics\":[";
+    const auto& metrics = c.sections[s].metrics;
+    for (size_t m = 0; m < metrics.size(); ++m) {
+      if (m > 0) out.push_back(',');
+      out += "{\"name\":";
+      AppendJsonString(&out, metrics[m].name);
+      char value[64];
+      std::snprintf(value, sizeof(value), "%.10g", metrics[m].value);
+      out += ",\"value\":";
+      out += value;
+      out += ",\"unit\":";
+      AppendJsonString(&out, metrics[m].unit);
+      out += "}";
     }
     out += "]}";
   }

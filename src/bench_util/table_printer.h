@@ -34,9 +34,17 @@ void PrintSection(const std::string& title);
 /// PrintSection and TablePrinter::Print additionally record their
 /// sections/tables into a process-wide collector; WriteJsonResults
 /// serializes everything captured so far as
-/// `{"sections": [{"title", "tables": [{"header", "rows"}]}]}`.
+/// `{"sections": [{"title", "tables": [{"header", "rows"}],
+///                 "metrics": [{"name", "value", "unit"}]}]}`.
 void EnableResultCapture();
 bool ResultCaptureEnabled();
+
+/// Records one headline scalar of the current section — the numbers the
+/// bench epilogues state in prose (peak bandwidth, speedup, match count) —
+/// so CI reads them from the JSON without parsing formatted table cells.
+/// No-op unless capture is enabled.
+void RecordMetric(const std::string& name, double value,
+                  const std::string& unit);
 
 /// Writes the captured results as JSON to `path`. Returns false on I/O
 /// failure.

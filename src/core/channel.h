@@ -181,6 +181,9 @@ class ChannelSource {
   void Abort(const Status& cause);
 
   uint64_t segments_sent() const { return send_seq_; }
+  /// Number of remote-footer prefetch reads issued (bandwidth mode pipelines
+  /// one read per transmitted segment; observability for tests).
+  uint64_t footer_reads() const { return footer_reads_; }
   VirtualClock* clock() { return clock_; }
 
  private:

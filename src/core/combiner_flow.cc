@@ -1,48 +1,10 @@
 #include "core/combiner_flow.h"
 
-#include <algorithm>
-#include <limits>
 #include <utility>
 
-#include "common/hash.h"
 #include "common/logging.h"
-#include "core/deadline.h"
-#include "net/fault_plan.h"
 
 namespace dfi {
-namespace {
-
-/// Reads a field as double for aggregation.
-double FieldAsDouble(TupleView tuple, size_t field_index) {
-  const Schema& schema = *tuple.schema();
-  switch (schema.field(field_index).type) {
-    case DataType::kInt8:
-      return tuple.Get<int8_t>(field_index);
-    case DataType::kUInt8:
-      return tuple.Get<uint8_t>(field_index);
-    case DataType::kInt16:
-      return tuple.Get<int16_t>(field_index);
-    case DataType::kUInt16:
-      return tuple.Get<uint16_t>(field_index);
-    case DataType::kInt32:
-      return tuple.Get<int32_t>(field_index);
-    case DataType::kUInt32:
-      return tuple.Get<uint32_t>(field_index);
-    case DataType::kInt64:
-      return static_cast<double>(tuple.Get<int64_t>(field_index));
-    case DataType::kUInt64:
-      return static_cast<double>(tuple.Get<uint64_t>(field_index));
-    case DataType::kFloat:
-      return tuple.Get<float>(field_index);
-    case DataType::kDouble:
-      return tuple.Get<double>(field_index);
-    case DataType::kChar:
-      DFI_LOG(FATAL) << "cannot aggregate a kChar field";
-  }
-  return 0;
-}
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // CombinerFlowState
@@ -59,31 +21,12 @@ CombinerFlowState::CombinerFlowState(CombinerFlowSpec spec,
   auto targets = spec_.targets.Resolve(env_->fabric());
   DFI_CHECK(targets.ok()) << targets.status();
   target_nodes_ = std::move(targets).value();
-  // N:1 topology: all target threads on one node.
-  for (net::NodeId t : target_nodes_) {
-    DFI_CHECK_EQ(t, target_nodes_[0])
-        << "combiner flow targets must share one node (N:1)";
-  }
-
-  const uint32_t n = num_sources();
-  const uint32_t m = num_targets();
-  target_gates_ = std::make_unique<ReadyGate[]>(m);
-  channels_.resize(static_cast<size_t>(n) * m);
-  const uint32_t tuple_size =
-      static_cast<uint32_t>(spec_.schema.tuple_size());
-  for (uint32_t s = 0; s < n; ++s) {
-    for (uint32_t t = 0; t < m; ++t) {
-      auto channel = std::make_unique<ChannelShared>(
-          env_->context(target_nodes_[t]), spec_.options, tuple_size,
-          static_cast<uint16_t>(s));
-      channel->set_target_gate(&target_gates_[t]);
-      channels_[static_cast<size_t>(s) * m + t] = std::move(channel);
-    }
-  }
-}
-
-void CombinerFlowState::Abort(const Status& cause) {
-  for (auto& ch : channels_) ch->Poison(cause);
+  // Topology validation (N:1 unless multi_node_targets) happens in
+  // DfiRuntime::InitCombinerFlow, where it can return a clean Status.
+  matrix_ = ChannelMatrix(
+      env_, spec_.options,
+      static_cast<uint32_t>(spec_.schema.tuple_size()), num_sources(),
+      target_nodes_);
 }
 
 // ---------------------------------------------------------------------------
@@ -92,54 +35,23 @@ void CombinerFlowState::Abort(const Status& cause) {
 
 CombinerSource::CombinerSource(std::shared_ptr<CombinerFlowState> state,
                                uint32_t source_index)
-    : state_(std::move(state)),
-      source_index_(source_index),
-      tuple_size_(
-          static_cast<uint32_t>(state_->spec().schema.tuple_size())),
-      target_mod_(state_->num_targets()) {
+    : state_(std::move(state)), source_index_(source_index) {
   DFI_CHECK_LT(source_index_, state_->num_sources());
-  rdma::RdmaContext* ctx =
-      state_->env()->context(state_->source_node(source_index_));
-  for (uint32_t t = 0; t < state_->num_targets(); ++t) {
-    channels_.push_back(std::make_unique<ChannelSource>(
-        state_->channel(source_index_, t), ctx, &clock_));
-  }
-}
-
-Status CombinerSource::Push(const void* tuple) {
   const CombinerFlowSpec& spec = state_->spec();
-  uint32_t target = 0;
-  if (!spec.global_aggregate && state_->num_targets() > 1) {
-    const TupleView view(static_cast<const uint8_t*>(tuple), &spec.schema);
-    target = static_cast<uint32_t>(
-        target_mod_.Mod(HashU64(ReadKeyAsU64(view, spec.group_by_index))));
-  } else if (spec.global_aggregate && state_->num_targets() > 1) {
+  const uint32_t m = state_->num_targets();
+  if (!spec.global_aggregate && m > 1) {
+    partitioner_ =
+        Partitioner::KeyHash(&spec.schema, spec.group_by_index, m);
+  } else if (spec.global_aggregate && m > 1) {
     // Spread globally-aggregated tuples round-robin; targets hold partial
     // aggregates that the application combines.
-    target = static_cast<uint32_t>(rr_++ % state_->num_targets());
+    partitioner_ = Partitioner::RoundRobin(m);
+  } else {
+    partitioner_ = Partitioner::Single();
   }
-  return channels_[target]->Push(tuple, tuple_size_);
-}
-
-Status CombinerSource::Flush() {
-  for (auto& ch : channels_) {
-    DFI_RETURN_IF_ERROR(ch->Flush());
-  }
-  return Status::OK();
-}
-
-Status CombinerSource::Close() {
-  // Attempt every channel even after a failure (see ShuffleSource::Close).
-  Status first;
-  for (auto& ch : channels_) {
-    Status s = ch->Close();
-    if (first.ok() && !s.ok()) first = std::move(s);
-  }
-  return first;
-}
-
-void CombinerSource::Abort(const Status& cause) {
-  for (auto& ch : channels_) ch->Abort(cause);
+  endpoint_.emplace(
+      state_->matrix(), source_index_,
+      state_->env()->context(state_->source_node(source_index_)), &clock_);
 }
 
 // ---------------------------------------------------------------------------
@@ -152,142 +64,29 @@ CombinerTarget::CombinerTarget(std::shared_ptr<CombinerFlowState> state,
       target_index_(target_index),
       config_(&state_->env()->config()) {
   DFI_CHECK_LT(target_index_, state_->num_targets());
-  for (uint32_t s = 0; s < state_->num_sources(); ++s) {
-    cursors_.push_back(std::make_unique<ChannelTargetCursor>(
-        state_->channel(s, target_index_), &clock_));
-  }
-}
-
-void CombinerTarget::Fold(TupleView tuple) {
   const CombinerFlowSpec& spec = state_->spec();
-  const uint64_t key = spec.global_aggregate
-                           ? 0
-                           : ReadKeyAsU64(tuple, spec.group_by_index);
-  clock_.Advance(config_->agg_update_ns);
-
-  auto [it, inserted] = groups_.try_emplace(key);
-  std::vector<double>& acc = it->second;
-  if (inserted) {
-    acc.resize(spec.aggregates.size());
-    output_keys_.push_back(key);
-    for (size_t i = 0; i < spec.aggregates.size(); ++i) {
-      switch (spec.aggregates[i].func) {
-        case AggFunc::kSum:
-        case AggFunc::kCount:
-          acc[i] = 0;
-          break;
-        case AggFunc::kMin:
-          acc[i] = std::numeric_limits<double>::infinity();
-          break;
-        case AggFunc::kMax:
-          acc[i] = -std::numeric_limits<double>::infinity();
-          break;
-      }
-    }
-  }
-  for (size_t i = 0; i < spec.aggregates.size(); ++i) {
-    const AggSpec& agg = spec.aggregates[i];
-    switch (agg.func) {
-      case AggFunc::kSum:
-        acc[i] += FieldAsDouble(tuple, agg.field_index);
-        break;
-      case AggFunc::kCount:
-        acc[i] += 1;
-        break;
-      case AggFunc::kMin:
-        acc[i] = std::min(acc[i], FieldAsDouble(tuple, agg.field_index));
-        break;
-      case AggFunc::kMax:
-        acc[i] = std::max(acc[i], FieldAsDouble(tuple, agg.field_index));
-        break;
-    }
-  }
-  ++tuples_aggregated_;
+  sink_.emplace(state_->matrix(), target_index_, &spec.schema, config_,
+                &clock_, "combiner", state_->source_nodes());
+  aggregator_.emplace(&spec.schema, &spec.aggregates, spec.group_by_index,
+                      spec.global_aggregate, config_, &clock_);
 }
 
 Status CombinerTarget::Drain() {
   const Schema& schema = state_->spec().schema;
   const uint32_t tuple_size = static_cast<uint32_t>(schema.tuple_size());
-  const uint32_t n = static_cast<uint32_t>(cursors_.size());
-  ReadyGate* gate = state_->target_gate(target_index_);
-  DeadlineWait wait(state_->spec().options, &clock_);
-  const net::FaultPlan& plan = state_->env()->fabric().fault_plan();
-  // Fold segments in delivery order off the ready list — O(deliveries),
-  // independent of how many source channels sit idle. Exhaustion is
-  // counted at the release transitions (a released cursor is exhausted iff
-  // the released segment carried end-of-flow), so no O(n) recount is
-  // needed before blocking.
-  uint32_t exhausted = 0;
-  int held = -1;
-  auto release = [&](uint32_t idx) {
-    cursors_[idx]->Release();
-    if (cursors_[idx]->exhausted()) ++exhausted;
-  };
+  // Fold segments as the unified transport serves them (aggregation
+  // happens as segments arrive, paper section 4.2.3).
   for (;;) {
-    // Capture the gate version before draining so a delivery racing with
-    // the drain is never missed.
-    const uint64_t version = gate->version();
-    // Release the segment consumed last round before continuing, so its
-    // slot recycles promptly.
-    if (held >= 0) {
-      release(static_cast<uint32_t>(held));
-      held = -1;
+    SegmentView view;
+    const ConsumeResult r = sink_->ConsumeSegment(&view);
+    if (r == ConsumeResult::kFlowEnd) break;
+    if (r != ConsumeResult::kOk) return sink_->last_status();
+    for (uint32_t off = 0; off + tuple_size <= view.bytes;
+         off += tuple_size) {
+      clock_.Advance(config_->tuple_consume_fixed_ns);
+      aggregator_->Fold(TupleView(view.payload + off, &schema));
     }
-    bool found = false;
-    uint32_t idx = 0;
-    while (gate->TryDequeue(&idx)) {
-      ChannelTargetCursor& cursor = *cursors_[idx];
-      if (cursor.exhausted()) continue;  // stale entry
-      SegmentView view;
-      if (!cursor.TryConsume(&view)) {
-        clock_.Advance(config_->consume_poll_ns);
-        continue;
-      }
-      clock_.Advance(config_->consume_segment_fixed_ns);
-      for (uint32_t off = 0; off + tuple_size <= view.bytes;
-           off += tuple_size) {
-        clock_.Advance(config_->tuple_consume_fixed_ns);
-        Fold(TupleView(view.payload + off, &schema));
-      }
-      held = static_cast<int>(idx);
-      found = true;
-      break;
-    }
-    if (found) continue;
-    if (exhausted == n) break;
-    // Blocked: surface teardown, crashed sources, or the deadline instead
-    // of waiting for an end-of-flow marker that will never come.
-    for (auto& cursor : cursors_) {
-      if (!cursor->exhausted() && cursor->shared()->poisoned()) {
-        if (held >= 0) cursors_[held]->Release();
-        wait.Commit();
-        return cursor->shared()->poison_status();
-      }
-    }
-    if (plan.active()) {
-      const SimTime now = wait.ProvisionalNow();
-      for (uint32_t s = 0; s < n; ++s) {
-        if (cursors_[s]->exhausted()) continue;
-        const net::NodeId src = state_->source_node(s);
-        if (!plan.NodeAlive(src, now)) {
-          if (held >= 0) cursors_[held]->Release();
-          wait.Commit();
-          return Status::PeerFailed(
-              "combiner source " + std::to_string(s) + " on node " +
-              std::to_string(src) + " failed before closing its channel");
-        }
-      }
-    }
-    if (!wait.Tick()) {
-      if (held >= 0) cursors_[held]->Release();
-      wait.Commit();
-      return Status::DeadlineExceeded(
-          "combiner drain deadline elapsed with " +
-          std::to_string(n - exhausted) + " source channel(s) still open");
-    }
-    gate->WaitChangedFor(version, DeadlineWait::kRealSlice);
   }
-  if (held >= 0) cursors_[held]->Release();
   drained_ = true;
   return Status::OK();
 }
@@ -300,16 +99,9 @@ ConsumeResult CombinerTarget::ConsumeAggregate(AggRow* out) {
       return ConsumeResult::kError;
     }
   }
-  if (output_pos_ >= output_keys_.size()) return ConsumeResult::kFlowEnd;
-  const uint64_t key = output_keys_[output_pos_++];
-  out->group_key = key;
-  out->values = groups_.at(key);
+  if (!aggregator_->NextRow(out)) return ConsumeResult::kFlowEnd;
   clock_.Advance(config_->tuple_consume_fixed_ns);
   return ConsumeResult::kOk;
-}
-
-void CombinerTarget::Abort(const Status& cause) {
-  for (auto& cursor : cursors_) cursor->shared()->Poison(cause);
 }
 
 }  // namespace dfi

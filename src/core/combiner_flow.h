@@ -2,12 +2,15 @@
 #define DFI_CORE_COMBINER_FLOW_H_
 
 #include <memory>
+#include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
-#include "core/channel.h"
+#include "core/endpoint/channel_matrix.h"
+#include "core/endpoint/flow_endpoint.h"
+#include "core/endpoint/flow_sink.h"
+#include "core/endpoint/policies.h"
 #include "core/flow_options.h"
 #include "core/nodes.h"
 #include "core/routing.h"
@@ -17,22 +20,16 @@
 
 namespace dfi {
 
-/// One aggregation to compute in a combiner flow.
-struct AggSpec {
-  AggFunc func;
-  /// Field whose values are aggregated (ignored for kCount).
-  size_t field_index = 0;
-};
-
-/// Declarative description of a combiner flow (paper section 4.2.3): N:1
+/// Declarative description of a combiner flow (paper section 4.2.3): N:M
 /// communication where tuples are aggregated in the target buffer using an
-/// aggregate function / group-by specification. Multiple target *threads*
-/// on the receiver node may share the work; tuples are routed to them by
-/// group key so partial aggregates are disjoint.
+/// aggregate function / group-by specification. Multiple target threads
+/// may share the work; tuples are routed to them by group key so partial
+/// aggregates are disjoint.
 struct CombinerFlowSpec {
   std::string name;
   DfiNodes sources;
-  /// Target threads; all endpoints must live on one node (N:1 topology).
+  /// Target threads. By default all endpoints must live on one node (the
+  /// paper's N:1 topology); set `multi_node_targets` to spread them.
   DfiNodes targets;
   Schema schema;
   /// Group-by field. If `global_aggregate` is true it is ignored and a
@@ -40,17 +37,25 @@ struct CombinerFlowSpec {
   size_t group_by_index = 0;
   bool global_aggregate = false;
   std::vector<AggSpec> aggregates;
+  /// Opt-in N:M topology: target threads may span multiple nodes. Group
+  /// keys are partitioned across all target threads exactly as in the
+  /// single-node case (partial aggregates stay disjoint), so the only
+  /// difference is where the partitions live. Left off,
+  /// DfiRuntime::InitCombinerFlow rejects multi-node target sets with
+  /// kInvalidArgument to catch accidental fan-out.
+  bool multi_node_targets = false;
   FlowOptions options;
 };
 
-/// Shared state of a combiner flow: the same private channel matrix as a
-/// shuffle flow plus the aggregation specification.
+/// Shared state of a combiner flow: the same channel matrix as a shuffle
+/// flow plus the aggregation specification.
 class CombinerFlowState : public FlowStateBase {
  public:
   CombinerFlowState(CombinerFlowSpec spec, rdma::RdmaEnv* env);
 
   const CombinerFlowSpec& spec() const { return spec_; }
   rdma::RdmaEnv* env() { return env_; }
+  ChannelMatrix* matrix() { return &matrix_; }
   uint32_t num_sources() const {
     return static_cast<uint32_t>(spec_.sources.size());
   }
@@ -58,28 +63,33 @@ class CombinerFlowState : public FlowStateBase {
     return static_cast<uint32_t>(spec_.targets.size());
   }
   ChannelShared* channel(uint32_t source, uint32_t target) {
-    return channels_[source * num_targets() + target].get();
+    return matrix_.channel(source, target);
   }
-  ReadyGate* target_gate(uint32_t target) { return &target_gates_[target]; }
+  ReadyGate* target_gate(uint32_t target) {
+    return matrix_.target_gate(target);
+  }
   net::NodeId source_node(uint32_t source) const {
     return source_nodes_[source];
+  }
+  const std::vector<net::NodeId>& source_nodes() const {
+    return source_nodes_;
   }
 
   /// Tears the whole flow down by poisoning every channel; all
   /// participants' next operation fails with `cause`.
-  void Abort(const Status& cause) override;
+  void Abort(const Status& cause) override { matrix_.PoisonAll(cause); }
 
  private:
   const CombinerFlowSpec spec_;
   rdma::RdmaEnv* const env_;
   std::vector<net::NodeId> source_nodes_;
   std::vector<net::NodeId> target_nodes_;
-  std::vector<std::unique_ptr<ChannelShared>> channels_;
-  std::unique_ptr<ReadyGate[]> target_gates_;
+  ChannelMatrix matrix_;
 };
 
-/// Source handle of a combiner flow: pushes tuples, routed by group key to
-/// the target thread owning that key's partition.
+/// Source handle of a combiner flow: a FlowEndpoint whose Partitioner
+/// routes by group key (or round-robin for global aggregates) to the
+/// target thread owning that key's partition.
 class CombinerSource {
  public:
   CombinerSource(std::shared_ptr<CombinerFlowState> state,
@@ -88,13 +98,15 @@ class CombinerSource {
   CombinerSource(const CombinerSource&) = delete;
   CombinerSource& operator=(const CombinerSource&) = delete;
 
-  Status Push(const void* tuple);
-  Status Flush();
-  Status Close();
+  Status Push(const void* tuple) {
+    return endpoint_->Push(tuple, &partitioner_);
+  }
+  Status Flush() { return endpoint_->Flush(); }
+  Status Close() { return endpoint_->Close(); }
 
   /// Aborts this source's channels without a clean end-of-flow; targets
   /// observe the teardown and their ConsumeAggregate returns kError.
-  void Abort(const Status& cause);
+  void Abort(const Status& cause) { endpoint_->Abort(cause); }
 
   const Schema& schema() const { return state_->spec().schema; }
   VirtualClock& clock() { return clock_; }
@@ -102,23 +114,15 @@ class CombinerSource {
  private:
   std::shared_ptr<CombinerFlowState> state_;
   const uint32_t source_index_;
-  const uint32_t tuple_size_;  // cached; immutable per flow
-  const FastDivisor target_mod_;  // magic-number `% num_targets`
   VirtualClock clock_;
-  std::vector<std::unique_ptr<ChannelSource>> channels_;
-  uint64_t rr_ = 0;  // round-robin spread for global aggregates
+  Partitioner partitioner_;  // group-key / round-robin / single-target
+  std::optional<FlowEndpoint> endpoint_;
 };
 
-/// One aggregated output row of a combiner target.
-struct AggRow {
-  uint64_t group_key = 0;
-  /// One accumulator per AggSpec, in spec order. Sums/min/max of integer
-  /// fields are exact for |value| < 2^53.
-  std::vector<double> values;
-};
-
-/// Target handle of a combiner flow: drains all sources, folding tuples
-/// into per-group accumulators, then yields the aggregate rows.
+/// Target handle of a combiner flow: a FlowSink feeding an Aggregator
+/// policy — segments are drained through the unified transport and every
+/// tuple folded into its group's accumulators, then the aggregate rows are
+/// yielded.
 class CombinerTarget {
  public:
   CombinerTarget(std::shared_ptr<CombinerFlowState> state,
@@ -134,30 +138,25 @@ class CombinerTarget {
   ConsumeResult ConsumeAggregate(AggRow* out);
 
   /// Aborts the target side: blocked sources wake with kAborted.
-  void Abort(const Status& cause);
+  void Abort(const Status& cause) { sink_->Abort(cause); }
 
   /// The failure behind the last ConsumeResult::kError (OK otherwise).
   const Status& last_status() const { return last_status_; }
 
   /// Number of input tuples folded so far.
-  uint64_t tuples_aggregated() const { return tuples_aggregated_; }
+  uint64_t tuples_aggregated() const { return aggregator_->tuples_folded(); }
   VirtualClock& clock() { return clock_; }
 
  private:
-  void Fold(TupleView tuple);
   Status Drain();
 
   std::shared_ptr<CombinerFlowState> state_;
   const uint32_t target_index_;
   const net::SimConfig* config_;
   VirtualClock clock_;
-  std::vector<std::unique_ptr<ChannelTargetCursor>> cursors_;
+  std::optional<FlowSink> sink_;
+  std::optional<Aggregator> aggregator_;
   bool drained_ = false;
-  uint64_t tuples_aggregated_ = 0;
-  std::unordered_map<uint64_t, std::vector<double>> groups_;
-  std::unordered_map<uint64_t, bool> group_seen_;  // for min/max init
-  std::vector<uint64_t> output_keys_;
-  size_t output_pos_ = 0;
   Status last_status_;
 };
 

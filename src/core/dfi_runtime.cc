@@ -130,6 +130,21 @@ Status DfiRuntime::InitCombinerFlow(CombinerFlowSpec spec) {
       return Status::InvalidArgument("aggregate field index out of range");
     }
   }
+  // N:1 unless the spec opts into multi-node targets (paper section 4.2.3
+  // describes N:1; the transport also supports spreading the group-key
+  // partitions over nodes, but accidental fan-out is rejected).
+  if (!spec.multi_node_targets) {
+    DFI_ASSIGN_OR_RETURN(std::vector<net::NodeId> target_nodes,
+                         spec.targets.Resolve(*fabric_));
+    for (net::NodeId t : target_nodes) {
+      if (t != target_nodes[0]) {
+        return Status::InvalidArgument(
+            "combiner flow '" + spec.name +
+            "' targets span multiple nodes; set multi_node_targets to opt "
+            "into the N:M topology");
+      }
+    }
+  }
   const std::string name = spec.name;
   auto state = std::make_shared<CombinerFlowState>(std::move(spec),
                                                    rdma_.get());

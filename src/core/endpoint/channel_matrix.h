@@ -1,0 +1,66 @@
+#ifndef DFI_CORE_ENDPOINT_CHANNEL_MATRIX_H_
+#define DFI_CORE_ENDPOINT_CHANNEL_MATRIX_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/channel.h"
+#include "core/flow_options.h"
+#include "rdma/rdma_env.h"
+
+namespace dfi {
+
+/// The private channel fabric of one flow: an N x M matrix of
+/// source->target segment-ring channels plus one ReadyGate per target
+/// thread (paper Figure 5 — every (source thread, target thread) pair gets
+/// its own ring so no synchronization is needed on the data path). All
+/// three flow types build exactly this structure for the one-sided
+/// transport; the matrix owns it once.
+class ChannelMatrix {
+ public:
+  ChannelMatrix() = default;
+
+  /// Allocates every ring on its target's node and wires the gates.
+  ChannelMatrix(rdma::RdmaEnv* env, const FlowOptions& options,
+                uint32_t tuple_size, uint32_t num_sources,
+                const std::vector<net::NodeId>& target_nodes);
+
+  ChannelMatrix(ChannelMatrix&&) = default;
+  ChannelMatrix& operator=(ChannelMatrix&&) = default;
+
+  bool empty() const { return channels_.empty(); }
+  uint32_t num_sources() const { return num_sources_; }
+  uint32_t num_targets() const { return num_targets_; }
+  uint32_t tuple_size() const { return tuple_size_; }
+  const FlowOptions& options() const { return options_; }
+
+  ChannelShared* channel(uint32_t source, uint32_t target) const {
+    return channels_[static_cast<size_t>(source) * num_targets_ + target]
+        .get();
+  }
+  ReadyGate* target_gate(uint32_t target) const {
+    return &target_gates_[target];
+  }
+
+  /// Tears the whole matrix down: poison wakes both halves of every channel
+  /// (sync + target gate), so blocked sources and targets observe the
+  /// teardown promptly.
+  void PoisonAll(const Status& cause);
+
+  /// Registered bytes of all rings of this flow on `node` (memory
+  /// accounting, paper section 6.1.4; excludes source-side staging which is
+  /// counted when sources are created).
+  uint64_t RingBytesOnNode(net::NodeId node) const;
+
+ private:
+  FlowOptions options_;
+  uint32_t tuple_size_ = 0;
+  uint32_t num_sources_ = 0;
+  uint32_t num_targets_ = 0;
+  std::vector<std::unique_ptr<ChannelShared>> channels_;
+  std::unique_ptr<ReadyGate[]> target_gates_;
+};
+
+}  // namespace dfi
+
+#endif  // DFI_CORE_ENDPOINT_CHANNEL_MATRIX_H_

@@ -1,0 +1,349 @@
+#include "core/endpoint/flow_endpoint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace dfi {
+
+// ---------------------------------------------------------------------------
+// FlowEndpoint
+// ---------------------------------------------------------------------------
+
+FlowEndpoint::FlowEndpoint(ChannelMatrix* matrix, uint32_t source_index,
+                           rdma::RdmaContext* source_ctx,
+                           VirtualClock* clock)
+    : tuple_size_(matrix->tuple_size()) {
+  const uint32_t m = matrix->num_targets();
+  channels_.reserve(m);
+  for (uint32_t t = 0; t < m; ++t) {
+    channels_.push_back(std::make_unique<ChannelSource>(
+        matrix->channel(source_index, t), source_ctx, clock));
+  }
+  batch_cursors_.resize(m);
+}
+
+Status FlowEndpoint::Push(const void* tuple, Partitioner* partitioner) {
+  const uint32_t target =
+      partitioner->Route(static_cast<const uint8_t*>(tuple));
+  if (target >= num_targets()) {
+    return Status::OutOfRange("routing function returned target " +
+                              std::to_string(target) + " of " +
+                              std::to_string(num_targets()));
+  }
+  return channels_[target]->Push(tuple, tuple_size_);
+}
+
+Status FlowEndpoint::PushTo(const void* tuple, uint32_t target_index) {
+  if (target_index >= num_targets()) {
+    return Status::OutOfRange("target index " +
+                              std::to_string(target_index));
+  }
+  return channels_[target_index]->Push(tuple, tuple_size_);
+}
+
+Status FlowEndpoint::AppendRun(uint32_t target, const uint8_t* run,
+                               size_t n) {
+  ChannelSource& ch = *channels_[target];
+  const uint32_t ts = tuple_size_;
+  while (n > 0) {
+    uint32_t granted = 0;
+    uint8_t* dst = nullptr;
+    DFI_RETURN_IF_ERROR(ch.ReserveTuples(
+        static_cast<uint32_t>(std::min<size_t>(n, UINT32_MAX)), &granted,
+        &dst));
+    DFI_CHECK_GT(granted, 0u);
+    std::memcpy(dst, run, static_cast<size_t>(granted) * ts);
+    DFI_RETURN_IF_ERROR(ch.CommitTuples(granted));
+    run += static_cast<size_t>(granted) * ts;
+    n -= granted;
+  }
+  return Status::OK();
+}
+
+Status FlowEndpoint::PushBatch(const void* tuples, size_t count,
+                               Partitioner* partitioner) {
+  if (count == 0) return Status::OK();
+  if (count > UINT32_MAX) {
+    return Status::InvalidArgument("batch too large; split it");
+  }
+  const uint8_t* base = static_cast<const uint8_t*>(tuples);
+  const uint32_t ts = tuple_size_;
+  const uint32_t m = num_targets();
+  if (m == 1 || partitioner->kind() == Partitioner::Kind::kSingle) {
+    // Degenerate partitioning: the whole run goes to target 0 as wide
+    // copies, no per-tuple work at all.
+    return AppendRun(0, base, count);
+  }
+
+  // One fused sweep: partition each tuple (devirtualized for the builtin
+  // partitioners — the only indirect call left is this function itself)
+  // and copy it straight into its channel's open reservation. Per-tuple
+  // Push order per target is preserved because tuples are emitted in batch
+  // order.
+  for (auto& cur : batch_cursors_) cur = BatchCursor{};
+  Status status;
+  // Commits whatever `cur` wrote into its open reservation (transmitting
+  // the now full segment) and opens the next one.
+  auto refill = [&](BatchCursor& cur, uint32_t target) {
+    ChannelSource& ch = *channels_[target];
+    if (cur.dst != cur.start) {
+      status = ch.CommitTuples(
+          static_cast<uint32_t>((cur.dst - cur.start) / ts));
+      if (!status.ok()) return false;
+    }
+    uint32_t granted = 0;
+    status = ch.ReserveTuples(UINT32_MAX, &granted, &cur.start);
+    if (!status.ok()) return false;
+    DFI_CHECK_GT(granted, 0u);
+    cur.dst = cur.start;
+    cur.end = cur.start + static_cast<size_t>(granted) * ts;
+    return true;
+  };
+  auto emit = [&](uint32_t target, const uint8_t* tuple) {
+    BatchCursor& cur = batch_cursors_[target];
+    if (cur.dst == cur.end && !refill(cur, target)) return false;
+    if (ts == 8) {
+      // Dominant case (8-byte tuples): a single load/store pair.
+      std::memcpy(cur.dst, tuple, 8);
+    } else {
+      std::memcpy(cur.dst, tuple, ts);
+    }
+    cur.dst += ts;
+    return true;
+  };
+
+  switch (partitioner->kind()) {
+    case Partitioner::Kind::kKeyHash: {
+      const size_t off = partitioner->key_offset();
+      const size_t key_size = partitioner->key_size();
+      const FastDivisor& target_mod = partitioner->mod();
+      // Two-pass blocks: a tight partition loop (vectorizable hash, then
+      // magic-number modulo) followed by the scatter; splitting the passes
+      // keeps the hash chain and the copy chain independently pipelined.
+      constexpr size_t kBlock = 512;
+      const uint8_t* p = base;
+      if (ts == 8 && off == 0 && key_size == 8) {
+        // Dominant case — the tuple IS an 8-byte key: the hash pass runs
+        // over a dense u64 run (SIMD via HashKeys8), the modulo reduces to
+        // a mask when num_targets is a power of two, and the scatter is a
+        // fixed-width load/store pair per tuple.
+        uint64_t h[kBlock];
+        const bool pow2 = target_mod.pow2();
+        const uint64_t mask = target_mod.mask();
+        for (size_t done = 0; done < count;) {
+          const size_t n = std::min(kBlock, count - done);
+          HashKeys8(p, n, h);
+          for (size_t j = 0; j < n; ++j, p += 8) {
+            const uint32_t target = static_cast<uint32_t>(
+                pow2 ? (h[j] & mask) : target_mod.Mod(h[j]));
+            BatchCursor& cur = batch_cursors_[target];
+            if (cur.dst == cur.end && !refill(cur, target)) return status;
+            std::memcpy(cur.dst, p, 8);
+            cur.dst += 8;
+          }
+          done += n;
+        }
+        break;
+      }
+      uint32_t tgt[kBlock];
+      for (size_t done = 0; done < count;) {
+        const size_t n = std::min(kBlock, count - done);
+        const uint8_t* q = p + off;
+        if (key_size == 8) {
+          // 8-byte keys load directly (arbitrary stride / offset).
+          for (size_t j = 0; j < n; ++j, q += ts) {
+            uint64_t k;
+            std::memcpy(&k, q, 8);
+            tgt[j] = static_cast<uint32_t>(target_mod.Mod(HashU64(k)));
+          }
+        } else {
+          for (size_t j = 0; j < n; ++j, q += ts) {
+            tgt[j] = static_cast<uint32_t>(
+                target_mod.Mod(HashU64(ReadKeyBytes(q, key_size))));
+          }
+        }
+        for (size_t j = 0; j < n; ++j, p += ts) {
+          if (!emit(tgt[j], p)) return status;
+        }
+        done += n;
+      }
+      break;
+    }
+    case Partitioner::Kind::kRadix: {
+      const size_t off = partitioner->key_offset();
+      const size_t key_size = partitioner->key_size();
+      const uint32_t shift = partitioner->shift();
+      const uint32_t bits = partitioner->bits();
+      const uint8_t* p = base;
+      for (size_t i = 0; i < count; ++i, p += ts) {
+        const uint32_t part =
+            RadixBits(ReadKeyBytes(p + off, key_size), shift, bits);
+        DFI_DCHECK(part < m);
+        if (part >= m) {
+          return Status::OutOfRange("routing function returned target " +
+                                    std::to_string(part) + " of " +
+                                    std::to_string(m));
+        }
+        if (!emit(part, p)) return status;
+      }
+      break;
+    }
+    default: {  // kRoundRobin / kGeneric
+      const uint8_t* p = base;
+      for (size_t i = 0; i < count; ++i, p += ts) {
+        const uint32_t target = partitioner->Route(p);
+        if (target >= m) {
+          return Status::OutOfRange("routing function returned target " +
+                                    std::to_string(target) + " of " +
+                                    std::to_string(m));
+        }
+        if (!emit(target, p)) return status;
+      }
+      break;
+    }
+  }
+
+  // Commit the partial tail reservations of every touched target.
+  for (uint32_t t = 0; t < m; ++t) {
+    const BatchCursor& cur = batch_cursors_[t];
+    if (cur.dst != cur.start) {
+      DFI_RETURN_IF_ERROR(channels_[t]->CommitTuples(
+          static_cast<uint32_t>((cur.dst - cur.start) / ts)));
+    }
+  }
+  return Status::OK();
+}
+
+Status FlowEndpoint::BroadcastSegment(uint8_t* staged_slot, uint32_t fill,
+                                      bool end) {
+  for (auto& ch : channels_) {
+    DFI_RETURN_IF_ERROR(ch->PushSegment(staged_slot, fill, end));
+  }
+  return Status::OK();
+}
+
+Status FlowEndpoint::Flush() {
+  for (auto& ch : channels_) {
+    DFI_RETURN_IF_ERROR(ch->Flush());
+  }
+  return Status::OK();
+}
+
+Status FlowEndpoint::Close() {
+  Status first;
+  for (auto& ch : channels_) {
+    Status s = ch->Close();
+    if (first.ok() && !s.ok()) first = std::move(s);
+  }
+  return first;
+}
+
+void FlowEndpoint::Abort(const Status& cause) {
+  for (auto& ch : channels_) ch->Abort(cause);
+}
+
+// ---------------------------------------------------------------------------
+// FanoutEndpoint
+// ---------------------------------------------------------------------------
+
+FanoutEndpoint::FanoutEndpoint(rdma::RdmaContext* ctx,
+                               const FlowOptions& options,
+                               uint32_t payload_capacity,
+                               const net::SimConfig* config,
+                               const AbortLatch* flow_abort,
+                               VirtualClock* clock)
+    : clock_(clock),
+      config_(config),
+      options_(options),
+      flow_abort_(flow_abort) {
+  const uint32_t staging_slots =
+      options_.optimization == FlowOptimization::kLatency
+          ? 1
+          : std::max(2u, options_.source_segments);
+  staging_mr_ = ctx->AllocateRegion(
+      static_cast<size_t>(payload_capacity + sizeof(SegmentFooter)) *
+      staging_slots);
+  staging_ = SegmentRing(staging_mr_->addr(), payload_capacity,
+                         staging_slots);
+}
+
+FanoutEndpoint::~FanoutEndpoint() = default;
+
+Status FanoutEndpoint::Push(const void* tuple, uint32_t len) {
+  if (closed_) {
+    return Status::FailedPrecondition("push on closed replicate source");
+  }
+  if (flow_abort_ != nullptr && flow_abort_->tripped()) {
+    return flow_abort_->status();
+  }
+  // The tuple is staged once regardless of target count; replication
+  // happens in the NIC (naive: parallel writes) or in the switch
+  // (multicast) — see paper section 6.1.2.
+  clock_->Advance(config_->tuple_push_fixed_ns +
+                  static_cast<SimTime>(
+                      std::llround(len * config_->tuple_copy_ns_per_byte)));
+
+  if (options_.optimization == FlowOptimization::kLatency) {
+    std::memcpy(staging_.payload(0), tuple, len);
+    return Transmit(len, false);
+  }
+  const uint32_t capacity = staging_.payload_capacity();
+  if (fill_ + len > capacity) {
+    DFI_RETURN_IF_ERROR(Flush());
+  }
+  std::memcpy(staging_.payload(staging_slot_) + fill_, tuple, len);
+  fill_ += len;
+  if (fill_ + len > capacity) {
+    DFI_RETURN_IF_ERROR(Flush());
+  }
+  return Status::OK();
+}
+
+Status FanoutEndpoint::Flush() {
+  if (fill_ == 0) return Status::OK();
+  const uint32_t fill = fill_;
+  fill_ = 0;
+  Status s = Transmit(fill, false);
+  staging_slot_ = (staging_slot_ + 1) % staging_.num_segments();
+  return s;
+}
+
+Status FanoutEndpoint::Close() {
+  if (closed_) return Status::OK();
+  const uint32_t fill = fill_;
+  fill_ = 0;
+  DFI_RETURN_IF_ERROR(Transmit(fill, true));
+  closed_ = true;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// BroadcastEndpoint
+// ---------------------------------------------------------------------------
+
+BroadcastEndpoint::BroadcastEndpoint(ChannelMatrix* matrix,
+                                     uint32_t source_index,
+                                     rdma::RdmaContext* ctx,
+                                     const net::SimConfig* config,
+                                     const AbortLatch* flow_abort,
+                                     VirtualClock* clock)
+    : FanoutEndpoint(ctx, matrix->options(),
+                     ChannelShared::PayloadCapacityFor(
+                         matrix->options(), matrix->tuple_size()),
+                     config, flow_abort, clock),
+      fanout_(matrix, source_index, ctx, clock) {}
+
+Status BroadcastEndpoint::Transmit(uint32_t fill, bool end) {
+  return fanout_.BroadcastSegment(staging_payload(), fill, end);
+}
+
+void BroadcastEndpoint::Abort(const Status& cause) {
+  MarkClosed();
+  fanout_.Abort(cause);
+}
+
+}  // namespace dfi

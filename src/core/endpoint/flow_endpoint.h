@@ -1,0 +1,169 @@
+#ifndef DFI_CORE_ENDPOINT_FLOW_ENDPOINT_H_
+#define DFI_CORE_ENDPOINT_FLOW_ENDPOINT_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "core/channel.h"
+#include "core/endpoint/abort_latch.h"
+#include "core/endpoint/channel_matrix.h"
+#include "core/endpoint/policies.h"
+
+namespace dfi {
+
+/// Source half of the unified transport: one worker thread's view of its
+/// row of the channel matrix. Owns the per-target ChannelSources and with
+/// them everything the paper's section 5 source side does — staging-ring
+/// wrap, selective signaling, footer prefetch, zero-copy batch
+/// reservations, deadline-bounded blocking on a full remote ring, and
+/// poisoned-footer teardown. Flow types differ only in the Partitioner
+/// they pass in (paper Table 1).
+class FlowEndpoint {
+ public:
+  FlowEndpoint(ChannelMatrix* matrix, uint32_t source_index,
+               rdma::RdmaContext* source_ctx, VirtualClock* clock);
+
+  FlowEndpoint(const FlowEndpoint&) = delete;
+  FlowEndpoint& operator=(const FlowEndpoint&) = delete;
+
+  uint32_t num_targets() const {
+    return static_cast<uint32_t>(channels_.size());
+  }
+  uint32_t tuple_size() const { return tuple_size_; }
+  ChannelSource* channel(uint32_t target) { return channels_[target].get(); }
+
+  /// Pushes one packed tuple, routed by `partitioner`.
+  Status Push(const void* tuple, Partitioner* partitioner);
+
+  /// Pushes with an explicit target (paper section 4.2.1, option (3)).
+  Status PushTo(const void* tuple, uint32_t target_index);
+
+  /// Batched push: partitions a run of `count` densely packed tuples and
+  /// scatters them directly into the per-target staging segments in one
+  /// fused sweep over the batch (zero-copy reservations, see
+  /// ChannelSource::ReserveTuples). Builtin partitioners (key-hash, radix)
+  /// run devirtualized — one indirect call per batch instead of one per
+  /// tuple; a kGeneric partitioner falls back to per-tuple dispatch for the
+  /// partitioning decision only. Delivers exactly the same per-target
+  /// tuple sequences as calling Push on each tuple in order.
+  Status PushBatch(const void* tuples, size_t count,
+                   Partitioner* partitioner);
+
+  /// Scatters a contiguous run of `n` tuples to one target (1-target flows
+  /// and explicit-target batches skip partitioning entirely).
+  Status AppendRun(uint32_t target, const uint8_t* run, size_t n);
+
+  /// Fans an externally staged segment out to every target (replicate
+  /// flows stage once and write per target; see ChannelSource::PushSegment).
+  Status BroadcastSegment(uint8_t* staged_slot, uint32_t fill, bool end);
+
+  /// Transmits all partially-filled segments.
+  Status Flush();
+
+  /// Flushes and signals end-of-flow to every target. Idempotent. Attempts
+  /// every channel even after a failure: targets whose channel did close
+  /// should not be starved of their end-of-flow marker because a sibling
+  /// channel's close failed; the first error wins.
+  Status Close();
+
+  /// Aborts this endpoint's channels without a clean end-of-flow: every
+  /// target observes the poisoned footer / shared poison state and its
+  /// consume returns kError.
+  void Abort(const Status& cause);
+
+ private:
+  /// Per-target write cursor into an open zero-copy reservation
+  /// (ChannelSource::ReserveTuples), refilled on demand while PushBatch
+  /// sweeps a batch. A pointer pair keeps the per-tuple hot path to one
+  /// compare and one bump; the committed tuple count is recovered as
+  /// (dst - start) / tuple_size at the (rare) refill and tail commits.
+  struct BatchCursor {
+    uint8_t* dst = nullptr;    // next write position
+    uint8_t* end = nullptr;    // reservation end; dst == end forces refill
+    uint8_t* start = nullptr;  // reservation base
+  };
+
+  /// Cached tuple size; immutable per flow, so the hot path never
+  /// re-derives it.
+  const uint32_t tuple_size_;
+  std::vector<std::unique_ptr<ChannelSource>> channels_;  // one per target
+  std::vector<BatchCursor> batch_cursors_;  // scratch, one per target
+};
+
+/// Source half of a fan-out (replicate) flow: tuples are staged once into
+/// a local segment regardless of target count, and replication happens at
+/// transmit time — in the NIC (naive: one write per target) or in the
+/// switch (multicast) — see paper section 6.1.2. Subclasses supply the
+/// Transmit step; this base owns the staging ring, the push/flush/close
+/// protocol and the flow-abort check.
+class FanoutEndpoint {
+ public:
+  virtual ~FanoutEndpoint();
+
+  FanoutEndpoint(const FanoutEndpoint&) = delete;
+  FanoutEndpoint& operator=(const FanoutEndpoint&) = delete;
+
+  /// Stages one tuple for all targets (latency mode transmits it
+  /// immediately).
+  Status Push(const void* tuple, uint32_t len);
+
+  /// Transmits the staged partial segment, if any.
+  Status Flush();
+
+  /// Transmits the final (possibly empty) segment with the end-of-flow
+  /// marker. Idempotent.
+  Status Close();
+
+  /// Aborts without a clean end-of-flow.
+  virtual void Abort(const Status& cause) = 0;
+
+  bool closed() const { return closed_; }
+
+ protected:
+  FanoutEndpoint(rdma::RdmaContext* ctx, const FlowOptions& options,
+                 uint32_t payload_capacity, const net::SimConfig* config,
+                 const AbortLatch* flow_abort, VirtualClock* clock);
+
+  /// Transmits the current staging slot's first `fill` bytes to every
+  /// target.
+  virtual Status Transmit(uint32_t fill, bool end) = 0;
+
+  uint8_t* staging_payload() { return staging_.payload(staging_slot_); }
+  const SegmentRing& staging() const { return staging_; }
+  void MarkClosed() { closed_ = true; }
+
+  VirtualClock* const clock_;
+  const net::SimConfig* const config_;
+
+ private:
+  const FlowOptions options_;
+  const AbortLatch* const flow_abort_;  // may be null
+  rdma::MemoryRegion* staging_mr_ = nullptr;
+  SegmentRing staging_;
+  uint32_t staging_slot_ = 0;
+  uint32_t fill_ = 0;
+  bool closed_ = false;
+};
+
+/// Naive fan-out transport: the staged segment is written once per target
+/// over the per-pair one-sided channels of a ChannelMatrix row.
+class BroadcastEndpoint : public FanoutEndpoint {
+ public:
+  BroadcastEndpoint(ChannelMatrix* matrix, uint32_t source_index,
+                    rdma::RdmaContext* ctx, const net::SimConfig* config,
+                    const AbortLatch* flow_abort, VirtualClock* clock);
+
+  void Abort(const Status& cause) override;
+
+ protected:
+  Status Transmit(uint32_t fill, bool end) override;
+
+ private:
+  FlowEndpoint fanout_;
+};
+
+}  // namespace dfi
+
+#endif  // DFI_CORE_ENDPOINT_FLOW_ENDPOINT_H_

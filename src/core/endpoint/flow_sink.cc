@@ -1,0 +1,165 @@
+#include "core/endpoint/flow_sink.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "core/deadline.h"
+
+namespace dfi {
+
+FlowSink::FlowSink(ChannelMatrix* matrix, uint32_t target_index,
+                   const Schema* schema, const net::SimConfig* config,
+                   VirtualClock* clock, std::string label,
+                   std::vector<net::NodeId> source_nodes,
+                   const AbortLatch* flow_abort)
+    : gate_(matrix->target_gate(target_index)),
+      schema_(schema),
+      config_(config),
+      clock_(clock),
+      options_(&matrix->options()),
+      label_(std::move(label)),
+      source_nodes_(std::move(source_nodes)),
+      flow_abort_(flow_abort) {
+  const uint32_t n = matrix->num_sources();
+  cursors_.reserve(n);
+  for (uint32_t s = 0; s < n; ++s) {
+    cursors_.push_back(std::make_unique<ChannelTargetCursor>(
+        matrix->channel(s, target_index), clock_));
+  }
+}
+
+void FlowSink::ReleaseHeld() {
+  if (held_cursor_ < 0) return;
+  ChannelTargetCursor& held = *cursors_[held_cursor_];
+  // A held cursor is never already exhausted (exhaustion happens on the
+  // release of the end-of-flow segment), so exhausted() flipping true here
+  // is exactly the transition.
+  held.Release();
+  if (held.exhausted()) ++exhausted_count_;
+  held_cursor_ = -1;
+}
+
+bool FlowSink::TryConsumeSegment(SegmentView* out,
+                                 ConsumeResult* out_result) {
+  // Release the previously returned segment.
+  ReleaseHeld();
+  // Pop delivered channels off the ready list instead of scanning all
+  // rings: cost is O(deliveries handled), independent of how many source
+  // channels sit idle.
+  uint32_t idx = 0;
+  while (gate_->TryDequeue(&idx)) {
+    ChannelTargetCursor& cursor = *cursors_[idx];
+    if (cursor.exhausted()) continue;  // stale entry, already drained
+    SegmentView view;
+    if (!cursor.TryConsume(&view)) {
+      // Entry raced an earlier pop that consumed this delivery.
+      clock_->Advance(config_->consume_poll_ns);
+      continue;
+    }
+    clock_->Advance(config_->consume_segment_fixed_ns);
+    if (view.bytes == 0) {
+      // Pure end-of-flow marker: recycle silently. (End markers may also
+      // carry a final partial payload; those are surfaced normally.)
+      cursor.Release();
+      if (cursor.exhausted()) ++exhausted_count_;
+      continue;
+    }
+    held_cursor_ = static_cast<int>(idx);
+    *out = view;
+    *out_result = ConsumeResult::kOk;
+    return true;
+  }
+  if (exhausted_count_ == cursors_.size()) {
+    *out_result = ConsumeResult::kFlowEnd;
+    return true;  // definitive answer
+  }
+  // Nothing consumable: surface teardown through the non-blocking path too
+  // (already-delivered segments above still drain ahead of the error).
+  for (auto& cursor : cursors_) {
+    if (!cursor->exhausted() && cursor->shared()->poisoned()) {
+      last_status_ = cursor->shared()->poison_status();
+      *out_result = ConsumeResult::kError;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FlowSink::CheckFailure(DeadlineWait* wait, ConsumeResult* out_result) {
+  // Flow-level teardown first (flows with flow-granular abort semantics).
+  if (flow_abort_ != nullptr && flow_abort_->tripped()) {
+    last_status_ = flow_abort_->status();
+    wait->Commit();
+    *out_result = ConsumeResult::kError;
+    return true;
+  }
+  // A crashed source never sends its end-of-flow marker; ask the fault
+  // plan so the failure surfaces as kPeerFailed instead of waiting out the
+  // full deadline. (Poison is detected in TryConsumeSegment.)
+  const net::FaultPlan* plan =
+      cursors_.empty() ? nullptr : cursors_[0]->shared()->fault_plan();
+  if (plan != nullptr && plan->active()) {
+    const SimTime now = wait->ProvisionalNow();
+    for (uint32_t s = 0; s < cursors_.size(); ++s) {
+      if (cursors_[s]->exhausted()) continue;
+      const net::NodeId src = source_nodes_[s];
+      if (src != net::kInvalidNode && !plan->NodeAlive(src, now)) {
+        last_status_ = Status::PeerFailed(
+            label_ + " source " + std::to_string(s) + " on node " +
+            std::to_string(src) + " failed before closing its channel");
+        wait->Commit();
+        *out_result = ConsumeResult::kError;
+        return true;
+      }
+    }
+  }
+  if (!wait->Tick()) {
+    last_status_ = Status::DeadlineExceeded(
+        label_ + " consume deadline elapsed with " +
+        std::to_string(cursors_.size() - exhausted_count_) +
+        " source channel(s) still open");
+    wait->Commit();
+    *out_result = ConsumeResult::kError;
+    return true;
+  }
+  return false;
+}
+
+ConsumeResult FlowSink::ConsumeSegment(SegmentView* out) {
+  DeadlineWait wait(*options_, clock_);
+  for (;;) {
+    // Capture the gate version before scanning so a delivery racing with
+    // the scan is never missed.
+    const uint64_t version = gate_->version();
+    ConsumeResult result;
+    if (TryConsumeSegment(out, &result)) return result;
+    if (CheckFailure(&wait, &result)) return result;
+    gate_->WaitChangedFor(version, DeadlineWait::kRealSlice);
+  }
+}
+
+ConsumeResult FlowSink::Consume(TupleView* out) {
+  const uint32_t tuple_size =
+      static_cast<uint32_t>(schema_->tuple_size());
+  for (;;) {
+    if (current_.payload != nullptr &&
+        tuple_offset_ + tuple_size <= current_.bytes) {
+      *out = TupleView(current_.payload + tuple_offset_, schema_);
+      tuple_offset_ += tuple_size;
+      clock_->Advance(config_->tuple_consume_fixed_ns);
+      return ConsumeResult::kOk;
+    }
+    current_ = SegmentView{};
+    tuple_offset_ = 0;
+    SegmentView view;
+    const ConsumeResult r = ConsumeSegment(&view);
+    if (r != ConsumeResult::kOk) return r;
+    current_ = view;
+  }
+}
+
+void FlowSink::Abort(const Status& cause) {
+  for (auto& cursor : cursors_) cursor->shared()->Poison(cause);
+}
+
+}  // namespace dfi

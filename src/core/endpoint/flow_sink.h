@@ -1,0 +1,95 @@
+#ifndef DFI_CORE_ENDPOINT_FLOW_SINK_H_
+#define DFI_CORE_ENDPOINT_FLOW_SINK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "core/channel.h"
+#include "core/endpoint/abort_latch.h"
+#include "core/endpoint/channel_matrix.h"
+#include "core/schema.h"
+#include "net/fault_plan.h"
+
+namespace dfi {
+
+class DeadlineWait;
+
+/// Target half of the unified transport: one worker thread's view of its
+/// column of the channel matrix. Owns the per-source cursors and with them
+/// everything the paper's section 5 target side does — serving segments in
+/// delivery order off the ready gate (O(deliveries) instead of an
+/// O(num_sources) ring scan), footer-driven release/recycle, end-of-flow
+/// accounting, and deadline-bounded blocking that surfaces teardown
+/// (poison / flow abort), crashed peers (fault plan) and the flow deadline
+/// as kError. Flow types differ only in what they do with the consumed
+/// segments (iterate, aggregate).
+class FlowSink {
+ public:
+  /// `label` names the flow type in failure messages ("shuffle",
+  /// "replicate", "combiner"). `flow_abort` (optional) is checked while
+  /// blocked, for flows with flow-granular teardown.
+  FlowSink(ChannelMatrix* matrix, uint32_t target_index,
+           const Schema* schema, const net::SimConfig* config,
+           VirtualClock* clock, std::string label,
+           std::vector<net::NodeId> source_nodes,
+           const AbortLatch* flow_abort = nullptr);
+
+  FlowSink(const FlowSink&) = delete;
+  FlowSink& operator=(const FlowSink&) = delete;
+
+  /// Non-blocking: releases the previously returned segment, then serves
+  /// the next delivered one. Returns false if nothing is currently
+  /// consumable (out_result distinguishes empty from flow end / error).
+  bool TryConsumeSegment(SegmentView* out, ConsumeResult* out_result);
+
+  /// Blocking: next whole segment, zero-copy. The view is valid until the
+  /// next ConsumeSegment/Consume call.
+  ConsumeResult ConsumeSegment(SegmentView* out);
+
+  /// Blocking: next tuple out of the flow. Returns kFlowEnd once every
+  /// source has closed and all segments are drained.
+  ConsumeResult Consume(TupleView* out);
+
+  /// Aborts the target side of this column: sources blocked on its full
+  /// rings wake with the cause instead of waiting out their deadline.
+  void Abort(const Status& cause);
+
+  /// The failure behind the last ConsumeResult::kError (OK otherwise).
+  const Status& last_status() const { return last_status_; }
+
+  uint32_t num_sources() const {
+    return static_cast<uint32_t>(cursors_.size());
+  }
+  uint32_t exhausted_count() const { return exhausted_count_; }
+
+ private:
+  /// Releases the held cursor (if any), tracking its exhaustion.
+  void ReleaseHeld();
+  /// One failure-poll round while blocked: surfaces flow teardown, crashed
+  /// sources (fault plan), or the flow deadline as kError; ticks `wait`.
+  /// Returns true when the consume call must stop. (Poison is detected in
+  /// TryConsumeSegment.)
+  bool CheckFailure(DeadlineWait* wait, ConsumeResult* out_result);
+
+  ReadyGate* const gate_;
+  const Schema* const schema_;
+  const net::SimConfig* const config_;
+  VirtualClock* const clock_;
+  const FlowOptions* const options_;
+  const std::string label_;
+  const std::vector<net::NodeId> source_nodes_;
+  const AbortLatch* const flow_abort_;  // may be null
+  std::vector<std::unique_ptr<ChannelTargetCursor>> cursors_;  // per source
+  uint32_t exhausted_count_ = 0;  // cursors that reached end-of-flow
+  int held_cursor_ = -1;  // cursor whose segment `current_` views
+  SegmentView current_;
+  uint32_t tuple_offset_ = 0;  // iteration state within current_
+  Status last_status_;
+};
+
+}  // namespace dfi
+
+#endif  // DFI_CORE_ENDPOINT_FLOW_SINK_H_

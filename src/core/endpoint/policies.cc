@@ -1,0 +1,200 @@
+#include "core/endpoint/policies.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace dfi {
+namespace {
+
+/// Reads a field as double for aggregation.
+double FieldAsDouble(TupleView tuple, size_t field_index) {
+  const Schema& schema = *tuple.schema();
+  switch (schema.field(field_index).type) {
+    case DataType::kInt8:
+      return tuple.Get<int8_t>(field_index);
+    case DataType::kUInt8:
+      return tuple.Get<uint8_t>(field_index);
+    case DataType::kInt16:
+      return tuple.Get<int16_t>(field_index);
+    case DataType::kUInt16:
+      return tuple.Get<uint16_t>(field_index);
+    case DataType::kInt32:
+      return tuple.Get<int32_t>(field_index);
+    case DataType::kUInt32:
+      return tuple.Get<uint32_t>(field_index);
+    case DataType::kInt64:
+      return static_cast<double>(tuple.Get<int64_t>(field_index));
+    case DataType::kUInt64:
+      return static_cast<double>(tuple.Get<uint64_t>(field_index));
+    case DataType::kFloat:
+      return tuple.Get<float>(field_index);
+    case DataType::kDouble:
+      return tuple.Get<double>(field_index);
+    case DataType::kChar:
+      DFI_LOG(FATAL) << "cannot aggregate a kChar field";
+  }
+  return 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Partitioner
+// ---------------------------------------------------------------------------
+
+Partitioner Partitioner::KeyHash(const Schema* schema,
+                                 size_t key_field_index,
+                                 uint32_t num_targets) {
+  Partitioner p;
+  p.kind_ = Kind::kKeyHash;
+  p.schema_ = schema;
+  p.num_targets_ = num_targets;
+  p.key_offset_ = schema->offset(key_field_index);
+  p.key_size_ = schema->field_size(key_field_index);
+  p.mod_ = FastDivisor(num_targets);
+  return p;
+}
+
+Partitioner Partitioner::Radix(const Schema* schema, size_t key_field_index,
+                               uint32_t shift, uint32_t bits,
+                               uint32_t num_targets) {
+  Partitioner p;
+  p.kind_ = Kind::kRadix;
+  p.schema_ = schema;
+  p.num_targets_ = num_targets;
+  p.key_offset_ = schema->offset(key_field_index);
+  p.key_size_ = schema->field_size(key_field_index);
+  p.shift_ = shift;
+  p.bits_ = bits;
+  return p;
+}
+
+Partitioner Partitioner::RoundRobin(uint32_t num_targets) {
+  Partitioner p;
+  p.kind_ = Kind::kRoundRobin;
+  p.num_targets_ = num_targets;
+  return p;
+}
+
+Partitioner Partitioner::Generic(RoutingFn fn, const Schema* schema,
+                                 uint32_t num_targets) {
+  Partitioner p;
+  p.kind_ = Kind::kGeneric;
+  p.schema_ = schema;
+  p.num_targets_ = num_targets;
+  p.fn_ = std::move(fn);
+  return p;
+}
+
+Partitioner Partitioner::FromRouting(const RoutingSpec& spec,
+                                     const Schema* schema,
+                                     uint32_t num_targets) {
+  switch (spec.kind()) {
+    case RoutingSpec::Kind::kKeyHash:
+      return KeyHash(schema, spec.key_field_index(), num_targets);
+    case RoutingSpec::Kind::kRadix:
+      return Radix(schema, spec.key_field_index(), spec.shift(), spec.bits(),
+                   num_targets);
+    case RoutingSpec::Kind::kGeneric:
+      return Generic(spec.generic_fn(), schema, num_targets);
+    case RoutingSpec::Kind::kUnset:
+      break;
+  }
+  DFI_LOG(FATAL) << "routing spec must be resolved before building a "
+                    "partitioner";
+  return Partitioner();
+}
+
+uint32_t Partitioner::Route(const uint8_t* tuple) {
+  switch (kind_) {
+    case Kind::kSingle:
+      return 0;
+    case Kind::kKeyHash:
+      return static_cast<uint32_t>(
+          mod_.Mod(HashU64(ReadKeyBytes(tuple + key_offset_, key_size_))));
+    case Kind::kRadix:
+      return RadixBits(ReadKeyBytes(tuple + key_offset_, key_size_), shift_,
+                       bits_);
+    case Kind::kRoundRobin:
+      return static_cast<uint32_t>(rr_++ % num_targets_);
+    case Kind::kGeneric:
+      return fn_(TupleView(tuple, schema_), num_targets_);
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Aggregator
+// ---------------------------------------------------------------------------
+
+Aggregator::Aggregator(const Schema* schema,
+                       const std::vector<AggSpec>* aggregates,
+                       size_t group_by_index, bool global_aggregate,
+                       const net::SimConfig* config, VirtualClock* clock)
+    : schema_(schema),
+      aggregates_(aggregates),
+      group_by_index_(group_by_index),
+      global_aggregate_(global_aggregate),
+      config_(config),
+      clock_(clock) {
+  DFI_CHECK(!aggregates_->empty())
+      << "combiner flow needs at least one aggregate";
+}
+
+void Aggregator::Fold(TupleView tuple) {
+  const uint64_t key =
+      global_aggregate_ ? 0 : ReadKeyAsU64(tuple, group_by_index_);
+  clock_->Advance(config_->agg_update_ns);
+
+  auto [it, inserted] = groups_.try_emplace(key);
+  std::vector<double>& acc = it->second;
+  if (inserted) {
+    acc.resize(aggregates_->size());
+    output_keys_.push_back(key);
+    for (size_t i = 0; i < aggregates_->size(); ++i) {
+      switch ((*aggregates_)[i].func) {
+        case AggFunc::kSum:
+        case AggFunc::kCount:
+          acc[i] = 0;
+          break;
+        case AggFunc::kMin:
+          acc[i] = std::numeric_limits<double>::infinity();
+          break;
+        case AggFunc::kMax:
+          acc[i] = -std::numeric_limits<double>::infinity();
+          break;
+      }
+    }
+  }
+  for (size_t i = 0; i < aggregates_->size(); ++i) {
+    const AggSpec& agg = (*aggregates_)[i];
+    switch (agg.func) {
+      case AggFunc::kSum:
+        acc[i] += FieldAsDouble(tuple, agg.field_index);
+        break;
+      case AggFunc::kCount:
+        acc[i] += 1;
+        break;
+      case AggFunc::kMin:
+        acc[i] = std::min(acc[i], FieldAsDouble(tuple, agg.field_index));
+        break;
+      case AggFunc::kMax:
+        acc[i] = std::max(acc[i], FieldAsDouble(tuple, agg.field_index));
+        break;
+    }
+  }
+  ++tuples_folded_;
+}
+
+bool Aggregator::NextRow(AggRow* out) {
+  if (output_pos_ >= output_keys_.size()) return false;
+  const uint64_t key = output_keys_[output_pos_++];
+  out->group_key = key;
+  out->values = groups_.at(key);
+  return true;
+}
+
+}  // namespace dfi

@@ -1,0 +1,192 @@
+#ifndef DFI_CORE_ENDPOINT_POLICIES_H_
+#define DFI_CORE_ENDPOINT_POLICIES_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/sim_time.h"
+#include "core/flow_options.h"
+#include "core/routing.h"
+#include "core/schema.h"
+#include "net/sim_config.h"
+
+namespace dfi {
+
+// ---------------------------------------------------------------------------
+// Partitioner
+// ---------------------------------------------------------------------------
+
+/// Routing policy plugged into a FlowEndpoint: maps one packed tuple to a
+/// target index (paper Table 1 — the only source-side difference between
+/// the flow types). The builtin partitioners carry their key geometry and
+/// magic-number divisor declaratively so FlowEndpoint::PushBatch can run
+/// them devirtualized over whole batches; kGeneric wraps an arbitrary
+/// RoutingFn dispatched per tuple.
+class Partitioner {
+ public:
+  enum class Kind : uint8_t {
+    kSingle,      ///< everything to target 0 (1-target flows, combiner N:1)
+    kKeyHash,     ///< HashU64(key) % num_targets
+    kRadix,       ///< radix bits of HashU64(key)
+    kRoundRobin,  ///< spread with no key (combiner global aggregates)
+    kGeneric,     ///< opaque user RoutingFn
+  };
+
+  Partitioner() = default;  // kSingle
+
+  static Partitioner Single() { return Partitioner(); }
+
+  static Partitioner KeyHash(const Schema* schema, size_t key_field_index,
+                             uint32_t num_targets);
+  static Partitioner Radix(const Schema* schema, size_t key_field_index,
+                           uint32_t shift, uint32_t bits,
+                           uint32_t num_targets);
+  static Partitioner RoundRobin(uint32_t num_targets);
+  static Partitioner Generic(RoutingFn fn, const Schema* schema,
+                             uint32_t num_targets);
+
+  /// Builds the partitioner matching a resolved RoutingSpec (must not be
+  /// kUnset; flow construction resolves the default first).
+  static Partitioner FromRouting(const RoutingSpec& spec,
+                                 const Schema* schema, uint32_t num_targets);
+
+  /// Routes one packed tuple. Results may exceed num_targets() for buggy
+  /// kRadix/kGeneric routings; the endpoint range-checks.
+  uint32_t Route(const uint8_t* tuple);
+
+  Kind kind() const { return kind_; }
+  uint32_t num_targets() const { return num_targets_; }
+  const Schema* schema() const { return schema_; }
+  /// Key geometry, hoisted out of batch inner loops (kKeyHash / kRadix).
+  size_t key_offset() const { return key_offset_; }
+  size_t key_size() const { return key_size_; }
+  uint32_t shift() const { return shift_; }
+  uint32_t bits() const { return bits_; }
+  const FastDivisor& mod() const { return mod_; }
+  const RoutingFn& fn() const { return fn_; }
+
+ private:
+  Kind kind_ = Kind::kSingle;
+  const Schema* schema_ = nullptr;
+  uint32_t num_targets_ = 1;
+  size_t key_offset_ = 0;
+  size_t key_size_ = 0;
+  uint32_t shift_ = 0;
+  uint32_t bits_ = 0;
+  FastDivisor mod_;
+  RoutingFn fn_;
+  uint64_t rr_ = 0;  // round-robin cursor
+};
+
+// ---------------------------------------------------------------------------
+// Aggregator
+// ---------------------------------------------------------------------------
+
+/// One aggregation to compute in a combiner flow.
+struct AggSpec {
+  AggFunc func;
+  /// Field whose values are aggregated (ignored for kCount).
+  size_t field_index = 0;
+};
+
+/// One aggregated output row of a combiner target.
+struct AggRow {
+  uint64_t group_key = 0;
+  /// One accumulator per AggSpec, in spec order. Sums/min/max of integer
+  /// fields are exact for |value| < 2^53.
+  std::vector<double> values;
+};
+
+/// Aggregation policy plugged into a combiner target's FlowSink: folds
+/// tuples into per-group accumulators (SUM/COUNT/MIN/MAX, paper section
+/// 4.2.3), then yields the aggregate rows in first-seen group order.
+class Aggregator {
+ public:
+  Aggregator(const Schema* schema, const std::vector<AggSpec>* aggregates,
+             size_t group_by_index, bool global_aggregate,
+             const net::SimConfig* config, VirtualClock* clock);
+
+  Aggregator(const Aggregator&) = delete;
+  Aggregator& operator=(const Aggregator&) = delete;
+
+  /// Folds one tuple into its group's accumulators; charges agg_update_ns.
+  void Fold(TupleView tuple);
+
+  /// Yields the next aggregate row; false once all groups were emitted.
+  bool NextRow(AggRow* out);
+
+  /// Number of input tuples folded so far.
+  uint64_t tuples_folded() const { return tuples_folded_; }
+
+ private:
+  const Schema* const schema_;
+  const std::vector<AggSpec>* const aggregates_;
+  const size_t group_by_index_;
+  const bool global_aggregate_;
+  const net::SimConfig* const config_;
+  VirtualClock* const clock_;
+  uint64_t tuples_folded_ = 0;
+  std::unordered_map<uint64_t, std::vector<double>> groups_;
+  std::vector<uint64_t> output_keys_;
+  size_t output_pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Sequencer
+// ---------------------------------------------------------------------------
+
+/// Global-ordering policy for OUM replicate flows (paper Figure 6): tracks
+/// the next expected sequence number and reorders out-of-order arrivals via
+/// a next list. Gap handling (skip / supply / retransmit) advances or feeds
+/// the sequencer; the transport decides *when* a gap is declared.
+class Sequencer {
+ public:
+  /// One queued out-of-order arrival: either a receive-pool slot or an
+  /// owned copy (retransmissions, application-supplied gap content).
+  struct Entry {
+    uint32_t slot = UINT32_MAX;  // recv-pool slot, or
+    std::vector<uint8_t> copy;   // owned segment copy
+    SimTime arrival = 0;
+  };
+
+  uint64_t expected() const { return expected_; }
+  bool HasPending() const { return !pending_.empty(); }
+
+  /// True when `seq` is neither consumed nor already queued (duplicates —
+  /// e.g. a retransmission racing the original — must be recycled without
+  /// re-crediting).
+  bool Fresh(uint64_t seq) const {
+    return seq >= expected_ && pending_.count(seq) == 0;
+  }
+
+  /// Queues an arrival for in-order delivery.
+  void Offer(uint64_t seq, Entry entry) {
+    pending_.emplace(seq, std::move(entry));
+  }
+
+  /// Pops the head entry iff it is the next expected sequence, advancing
+  /// the expectation.
+  bool PopReady(Entry* out) {
+    auto it = pending_.begin();
+    if (it == pending_.end() || it->first != expected_) return false;
+    *out = std::move(it->second);
+    pending_.erase(it);
+    ++expected_;
+    return true;
+  }
+
+  /// Skips the expected sequence (application declared the gap a no-op).
+  void Skip() { ++expected_; }
+
+ private:
+  uint64_t expected_ = 0;
+  std::map<uint64_t, Entry> pending_;
+};
+
+}  // namespace dfi
+
+#endif  // DFI_CORE_ENDPOINT_POLICIES_H_

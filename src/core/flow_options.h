@@ -64,7 +64,10 @@ struct FlowOptions {
   /// consume calls. 0 (default) waits forever, which preserves fault-free
   /// behavior exactly; fault-tolerant applications set a deadline and
   /// handle kDeadlineExceeded. Teardown (Abort / a fault-plan crash of the
-  /// peer) interrupts a blocked call regardless of the deadline.
+  /// peer) interrupts a blocked call regardless of the deadline. The
+  /// semantics are uniform across flow types: the shared transport
+  /// (FlowEndpoint / FlowSink, src/core/endpoint/) enforces it for
+  /// shuffle, replicate and combiner alike.
   SimTime block_deadline_ns = 0;
 
   /// Capped exponential backoff charged (in virtual time) per unproductive

@@ -1,28 +1,10 @@
 #include "core/replicate_flow.h"
 
-#include <algorithm>
-#include <cmath>
-#include <cstring>
 #include <utility>
 
 #include "common/logging.h"
-#include "core/deadline.h"
-#include "net/fault_plan.h"
 
 namespace dfi {
-namespace {
-
-uint32_t RoundUp8(uint32_t v) { return (v + 7u) & ~7u; }
-
-/// Real-time backstop while waiting for out-of-order arrivals before gap
-/// handling kicks in.
-constexpr std::chrono::milliseconds kGapPollTimeout{5};
-
-/// Real-time poll slice for unordered multicast consumes: long enough to be
-/// cheap, short enough that teardown / fault-plan crashes surface promptly.
-constexpr std::chrono::milliseconds kConsumePollSlice{1};
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // ReplicateFlowState
@@ -40,226 +22,26 @@ ReplicateFlowState::ReplicateFlowState(ReplicateFlowSpec spec,
   DFI_CHECK_GT(num_sources(), 0u);
   DFI_CHECK_GT(num_targets(), 0u);
 
-  const net::SimConfig& cfg = env_->config();
   const uint32_t tuple_size =
       static_cast<uint32_t>(spec_.schema.tuple_size());
-  pool_slots_ = spec_.options.segments_per_ring;
-
-  if (!multicast()) {
-    DFI_CHECK(!ordered()) << "global ordering requires the multicast "
-                             "transport in this implementation";
-    payload_capacity_ =
-        ChannelShared::PayloadCapacityFor(spec_.options, tuple_size);
-    target_gates_ = std::make_unique<ReadyGate[]>(num_targets());
-    channels_.resize(static_cast<size_t>(num_sources()) * num_targets());
-    for (uint32_t s = 0; s < num_sources(); ++s) {
-      for (uint32_t t = 0; t < num_targets(); ++t) {
-        auto ch = std::make_unique<ChannelShared>(
-            env_->context(target_nodes_[t]), spec_.options, tuple_size,
-            static_cast<uint16_t>(s));
-        ch->set_target_gate(&target_gates_[t]);
-        channels_[static_cast<size_t>(s) * num_targets() + t] =
-            std::move(ch);
-      }
-    }
+  if (multicast()) {
+    mcast_ = std::make_unique<MulticastState>(env_, spec_.options,
+                                              tuple_size, num_sources(),
+                                              target_nodes_, &latch_);
     return;
   }
-
-  // Multicast transport: segments must fit one datagram.
-  const uint32_t mtu_payload =
-      (cfg.ud_mtu_bytes - sizeof(SegmentFooter)) & ~7u;
-  if (spec_.options.optimization == FlowOptimization::kLatency) {
-    payload_capacity_ = RoundUp8(tuple_size);
-  } else {
-    payload_capacity_ =
-        std::min(RoundUp8(spec_.options.segment_size), mtu_payload);
-    payload_capacity_ = std::max(payload_capacity_, RoundUp8(tuple_size));
-  }
-  DFI_CHECK_LE(payload_capacity_ + sizeof(SegmentFooter), cfg.ud_mtu_bytes)
-      << "tuple too large for one multicast datagram";
-  if (cfg.multicast_loss_probability > 0) {
-    DFI_CHECK(ordered()) << "loss injection requires a globally ordered "
-                            "replicate flow (gap detection + retransmit)";
-  }
-
-  group_ = env_->fabric().network_switch().CreateGroup();
-  target_qps_.resize(num_targets());
-  recv_pools_.resize(num_targets());
-  credit_mrs_.resize(num_targets());
-  consume_time_ = std::make_unique<std::atomic<SimTime>[]>(num_targets());
-  ends_seen_ = std::make_unique<std::atomic<uint32_t>[]>(num_targets());
-  for (uint32_t t = 0; t < num_targets(); ++t) {
-    rdma::RdmaContext* ctx = env_->context(target_nodes_[t]);
-    rdma::CompletionQueue* recv_cq = ctx->CreateCq();
-    target_qps_[t] = ctx->CreateUdQp(ctx->CreateCq(), recv_cq);
-    DFI_CHECK_OK(target_qps_[t]->AttachMulticast(group_));
-    recv_pools_[t] =
-        ctx->AllocateRegion(static_cast<size_t>(slot_bytes()) * pool_slots_);
-    for (uint32_t i = 0; i < pool_slots_; ++i) {
-      target_qps_[t]->PostRecv(recv_pools_[t]->addr() +
-                                   static_cast<size_t>(i) * slot_bytes(),
-                               slot_bytes(), i);
-    }
-    credit_mrs_[t] = ctx->AllocateRegion(64);
-    consume_time_[t].store(0, std::memory_order_relaxed);
-    ends_seen_[t].store(0, std::memory_order_relaxed);
-  }
-  if (ordered()) {
-    sequencer_mr_ = env_->context(sequencer_node())->AllocateRegion(64);
-    histories_.resize(num_sources());
-    for (auto& h : histories_) h = std::make_unique<History>();
-  }
-}
-
-uint8_t* ReplicateFlowState::recv_slot(uint32_t target, uint32_t slot) {
-  return recv_pools_[target]->addr() +
-         static_cast<size_t>(slot) * slot_bytes();
-}
-
-StatusOr<uint64_t> ReplicateFlowState::AcquirePosition(
-    rdma::RcQueuePair* seq_qp, VirtualClock* clock) {
-  if (!ordered()) {
-    return unordered_positions_.fetch_add(1, std::memory_order_acq_rel);
-  }
-  // Tuple sequencer: RDMA fetch-and-add on a global counter (paper 5.4).
-  // Fails with kPeerFailed when the sequencer node crashed or is
-  // partitioned away — the flow cannot make ordered progress then.
-  return seq_qp->FetchAdd(sequencer_ref(), 1, clock);
-}
-
-uint64_t ReplicateFlowState::LoadConsumed(uint32_t target) const {
-  return std::atomic_ref<uint64_t>(
-             *reinterpret_cast<uint64_t*>(credit_mrs_[target]->addr()))
-      .load(std::memory_order_acquire);
-}
-
-rdma::RemoteRef ReplicateFlowState::credit_ref(uint32_t target) const {
-  return credit_mrs_[target]->RefAt(0);
-}
-
-void ReplicateFlowState::ReportConsumed(uint32_t target, SimTime now) {
-  consume_time_[target].store(now, std::memory_order_release);
-  std::atomic_ref<uint64_t>(
-      *reinterpret_cast<uint64_t*>(credit_mrs_[target]->addr()))
-      .fetch_add(1, std::memory_order_acq_rel);
-  credit_sync_.Notify();
-}
-
-Status ReplicateFlowState::WaitForCredit(
-    uint64_t position, std::vector<rdma::RcQueuePair*>& credit_qps,
-    VirtualClock* clock) {
-  const uint64_t slots = pool_slots_;
-  auto min_consumed = [&] {
-    uint64_t m = UINT64_MAX;
-    for (uint32_t t = 0; t < num_targets(); ++t) {
-      m = std::min(m, LoadConsumed(t));
-    }
-    return m;
-  };
-  // Periodic credit refresh: one 8-byte RDMA read per target each time the
-  // cached window is half used (paper: "remote credit is read once the
-  // local credit counter reaches a certain threshold").
-  if (slots >= 2 && position % (slots / 2) == (slots / 2) - 1) {
-    alignas(8) uint8_t scratch[8];
-    for (uint32_t t = 0; t < num_targets(); ++t) {
-      rdma::ReadDesc read;
-      read.local = scratch;
-      read.remote = credit_ref(t);
-      read.length = sizeof(uint64_t);
-      auto timing = credit_qps[t]->PostRead(read, clock);
-      DFI_RETURN_IF_ERROR(timing.status());
-    }
-  }
-  if (position < min_consumed() + slots) return Status::OK();
-
-  // Blocked: wait until every target caught up. A dead or aborted target
-  // never reports consumption, so the wait is deadline-bounded and checks
-  // teardown / fault-plan state every slice instead of hanging forever.
-  DeadlineWait wait(spec_.options, clock);
-  const net::FaultPlan& plan = env_->fabric().fault_plan();
-  for (;;) {
-    const uint64_t seen = credit_sync_.version();
-    if (position < min_consumed() + slots) break;
-    if (aborted()) {
-      wait.Commit();
-      return abort_status();
-    }
-    if (plan.active()) {
-      const SimTime now = wait.ProvisionalNow();
-      for (uint32_t t = 0; t < num_targets(); ++t) {
-        if (!plan.NodeAlive(target_nodes_[t], now)) {
-          wait.Commit();
-          return Status::PeerFailed(
-              "replicate target " + std::to_string(t) + " on node " +
-              std::to_string(target_nodes_[t]) +
-              " failed; credit window cannot advance");
-        }
-      }
-    }
-    if (!wait.Tick()) {
-      wait.Commit();
-      return Status::DeadlineExceeded(
-          "credit wait deadline at position " + std::to_string(position));
-    }
-    credit_sync_.WaitChangedFor(seen, DeadlineWait::kRealSlice);
-  }
-
-  // Success: charge virtual time from the limiting target's consume
-  // timestamp plus one discovering read (fault-free timing unchanged).
-  SimTime limit = 0;
-  for (uint32_t t = 0; t < num_targets(); ++t) {
-    limit = std::max(limit,
-                     consume_time_[t].load(std::memory_order_acquire));
-  }
-  clock->AdvanceTo(limit);
-  alignas(8) uint8_t scratch[8];
-  rdma::ReadDesc read;
-  read.local = scratch;
-  read.remote = credit_ref(0);
-  read.length = sizeof(uint64_t);
-  auto timing = credit_qps[0]->PostRead(read, clock);
-  DFI_RETURN_IF_ERROR(timing.status());
-  clock->AdvanceTo(timing->arrival);
-  return Status::OK();
+  DFI_CHECK(!ordered()) << "global ordering requires the multicast "
+                           "transport in this implementation";
+  payload_capacity_ =
+      ChannelShared::PayloadCapacityFor(spec_.options, tuple_size);
+  matrix_ = ChannelMatrix(env_, spec_.options, tuple_size, num_sources(),
+                          target_nodes_);
 }
 
 void ReplicateFlowState::Abort(const Status& cause) {
-  {
-    std::lock_guard<std::mutex> lock(abort_mu_);
-    if (aborted_.load(std::memory_order_relaxed)) return;
-    abort_cause_ = cause.ok() ? Status::Aborted("flow aborted") : cause;
-    aborted_.store(true, std::memory_order_release);
-  }
-  for (auto& ch : channels_) ch->Poison(cause);  // naive transport, if any
-  credit_sync_.Notify();  // wake sources blocked on the credit window
-}
-
-Status ReplicateFlowState::abort_status() const {
-  std::lock_guard<std::mutex> lock(abort_mu_);
-  return abort_cause_;
-}
-
-void ReplicateFlowState::RecordHistory(uint32_t source, uint64_t seq,
-                                       const uint8_t* data, uint32_t len) {
-  History& h = *histories_[source];
-  std::lock_guard<std::mutex> lock(h.mu);
-  h.segments.emplace(seq, std::vector<uint8_t>(data, data + len));
-  while (h.segments.size() > kHistoryDepth) {
-    h.segments.erase(h.segments.begin());
-  }
-}
-
-bool ReplicateFlowState::LookupHistory(uint64_t seq,
-                                       std::vector<uint8_t>* out) const {
-  for (const auto& hp : histories_) {
-    std::lock_guard<std::mutex> lock(hp->mu);
-    auto it = hp->segments.find(seq);
-    if (it != hp->segments.end()) {
-      *out = it->second;
-      return true;
-    }
-  }
-  return false;
+  if (!latch_.Trip(cause)) return;  // first cause wins
+  matrix_.PoisonAll(cause);  // naive transport, if any
+  if (mcast_) mcast_->WakeCreditWaiters();
 }
 
 // ---------------------------------------------------------------------------
@@ -272,129 +54,16 @@ ReplicateSource::ReplicateSource(std::shared_ptr<ReplicateFlowState> state,
   DFI_CHECK_LT(source_index_, state_->num_sources());
   rdma::RdmaContext* ctx =
       state_->env()->context(state_->source_node(source_index_));
-  const uint32_t capacity = state_->payload_capacity();
-  const uint32_t staging_slots =
-      state_->spec().options.optimization == FlowOptimization::kLatency
-          ? 1
-          : std::max(2u, state_->spec().options.source_segments);
-  staging_mr_ = ctx->AllocateRegion(
-      static_cast<size_t>(capacity + sizeof(SegmentFooter)) * staging_slots);
-  staging_ = SegmentRing(staging_mr_->addr(), capacity, staging_slots);
-
+  const net::SimConfig* config = &state_->env()->config();
   if (state_->multicast()) {
-    rdma::CompletionQueue* cq = ctx->CreateCq();
-    ud_qp_ = ctx->CreateUdQp(cq, ctx->CreateCq());
-    if (state_->ordered()) {
-      seq_qp_ = ctx->CreateRcQp(state_->sequencer_node(), cq);
-    }
-    for (uint32_t t = 0; t < state_->num_targets(); ++t) {
-      credit_qps_.push_back(ctx->CreateRcQp(state_->target_node(t), cq));
-    }
+    endpoint_ = std::make_unique<MulticastSendEndpoint>(
+        state_->mcast(), source_index_, ctx, config,
+        state_->abort_latch(), &clock_);
   } else {
-    for (uint32_t t = 0; t < state_->num_targets(); ++t) {
-      channels_.push_back(std::make_unique<ChannelSource>(
-          state_->channel(source_index_, t), ctx, &clock_));
-    }
+    endpoint_ = std::make_unique<BroadcastEndpoint>(
+        state_->matrix(), source_index_, ctx, config,
+        state_->abort_latch(), &clock_);
   }
-}
-
-Status ReplicateSource::Push(const void* tuple) {
-  if (closed_) {
-    return Status::FailedPrecondition("push on closed replicate source");
-  }
-  if (state_->aborted()) return state_->abort_status();
-  const net::SimConfig& cfg = state_->env()->config();
-  const uint32_t len = static_cast<uint32_t>(schema().tuple_size());
-  // The tuple is staged once regardless of target count; replication
-  // happens in the NIC (naive: parallel writes) or in the switch
-  // (multicast) — see paper section 6.1.2.
-  clock_.Advance(cfg.tuple_push_fixed_ns +
-                 static_cast<SimTime>(
-                     std::llround(len * cfg.tuple_copy_ns_per_byte)));
-
-  if (state_->spec().options.optimization == FlowOptimization::kLatency) {
-    std::memcpy(staging_.payload(0), tuple, len);
-    return state_->multicast() ? TransmitMulticast(len, false)
-                               : TransmitNaive(len, false);
-  }
-  const uint32_t capacity = staging_.payload_capacity();
-  if (fill_ + len > capacity) {
-    DFI_RETURN_IF_ERROR(Flush());
-  }
-  std::memcpy(staging_.payload(staging_slot_) + fill_, tuple, len);
-  fill_ += len;
-  if (fill_ + len > capacity) {
-    DFI_RETURN_IF_ERROR(Flush());
-  }
-  return Status::OK();
-}
-
-Status ReplicateSource::Flush() {
-  if (fill_ == 0) return Status::OK();
-  const uint32_t fill = fill_;
-  fill_ = 0;
-  Status s = state_->multicast() ? TransmitMulticast(fill, false)
-                                 : TransmitNaive(fill, false);
-  staging_slot_ = (staging_slot_ + 1) % staging_.num_segments();
-  return s;
-}
-
-Status ReplicateSource::Close() {
-  if (closed_) return Status::OK();
-  const uint32_t fill = fill_;
-  fill_ = 0;
-  Status s = state_->multicast() ? TransmitMulticast(fill, true)
-                                 : TransmitNaive(fill, true);
-  DFI_RETURN_IF_ERROR(s);
-  closed_ = true;
-  return Status::OK();
-}
-
-Status ReplicateSource::TransmitNaive(uint32_t fill, bool end) {
-  uint8_t* slot = staging_.payload(staging_slot_);
-  for (auto& ch : channels_) {
-    DFI_RETURN_IF_ERROR(ch->PushSegment(slot, fill, end));
-  }
-  return Status::OK();
-}
-
-void ReplicateSource::Abort(const Status& cause) {
-  closed_ = true;
-  if (state_->multicast()) {
-    // Switch replication has no per-pair channel: tear the flow down.
-    state_->Abort(cause);
-    return;
-  }
-  for (auto& ch : channels_) ch->Abort(cause);
-}
-
-Status ReplicateSource::TransmitMulticast(uint32_t fill, bool end) {
-  DFI_ASSIGN_OR_RETURN(const uint64_t position,
-                       state_->AcquirePosition(seq_qp_, &clock_));
-  DFI_RETURN_IF_ERROR(
-      state_->WaitForCredit(position, credit_qps_, &clock_));
-
-  uint8_t* slot = staging_.payload(staging_slot_);
-  auto* footer = reinterpret_cast<SegmentFooter*>(
-      slot + staging_.payload_capacity());
-  footer->sequence = position;
-  footer->fill_bytes = fill;
-  footer->source_index = static_cast<uint16_t>(source_index_);
-  footer->reserved = 0;
-  footer->arrival_sim_time = 0;  // per-target arrival comes from the CQE
-  footer->flags = static_cast<uint8_t>(kFlagConsumable |
-                                       (end ? kFlagEndOfFlow : 0));
-  if (state_->ordered()) {
-    state_->RecordHistory(source_index_, position, slot,
-                          state_->slot_bytes());
-  }
-  clock_.Advance(state_->env()->config().segment_seal_ns);
-  auto timing = ud_qp_->PostSendMulticast(state_->group(), slot,
-                                          state_->slot_bytes(), position,
-                                          /*signaled=*/false, &clock_);
-  DFI_RETURN_IF_ERROR(timing.status());
-  ++send_count_;
-  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
@@ -403,338 +72,31 @@ Status ReplicateSource::TransmitMulticast(uint32_t fill, bool end) {
 
 ReplicateTarget::ReplicateTarget(std::shared_ptr<ReplicateFlowState> state,
                                  uint32_t target_index)
-    : state_(std::move(state)),
-      target_index_(target_index),
-      config_(&state_->env()->config()) {
+    : state_(std::move(state)), target_index_(target_index) {
   DFI_CHECK_LT(target_index_, state_->num_targets());
-  if (!state_->multicast()) {
-    for (uint32_t s = 0; s < state_->num_sources(); ++s) {
-      cursors_.push_back(std::make_unique<ChannelTargetCursor>(
-          state_->channel(s, target_index_), &clock_));
-    }
-  }
-}
-
-const SegmentFooter* ReplicateTarget::SlotFooter(uint32_t slot) const {
-  return reinterpret_cast<const SegmentFooter*>(
-      const_cast<ReplicateFlowState&>(*state_).recv_slot(target_index_,
-                                                         slot) +
-      state_->payload_capacity());
-}
-
-void ReplicateTarget::ReleaseHeld() {
-  if (held_slot_ >= 0) {
-    state_->target_qp(target_index_)
-        ->PostRecv(state_->recv_slot(target_index_,
-                                     static_cast<uint32_t>(held_slot_)),
-                   state_->slot_bytes(), static_cast<uint32_t>(held_slot_));
-    state_->ReportConsumed(target_index_, clock_.now());
-    held_slot_ = -1;
-  }
-  if (!held_copy_.empty()) {
-    held_copy_.clear();
-    state_->ReportConsumed(target_index_, clock_.now());
-  }
-}
-
-ConsumeResult ReplicateTarget::ConsumeSegment(SegmentView* out) {
-  if (!state_->multicast()) return ConsumeNaive(out);
-  return state_->ordered() ? ConsumeMulticastOrdered(out)
-                           : ConsumeMulticastUnordered(out);
-}
-
-bool ReplicateTarget::CheckFailure(DeadlineWait* wait,
-                                   ConsumeResult* out_result) {
-  // Flow-level teardown first.
-  if (state_->aborted()) {
-    last_status_ = state_->abort_status();
-    wait->Commit();
-    *out_result = ConsumeResult::kError;
-    return true;
-  }
-  // Naive transport: per-channel poison (a source-side Abort poisons its
-  // channels before the flow-level flag is necessarily set).
-  for (auto& cursor : cursors_) {
-    if (!cursor->exhausted() && cursor->shared()->poisoned()) {
-      last_status_ = cursor->shared()->poison_status();
-      wait->Commit();
-      *out_result = ConsumeResult::kError;
-      return true;
-    }
-  }
-  // A crashed source never sequences its end-of-flow marker, so the flow
-  // can never finish; surface it as kPeerFailed. (Multicast end markers are
-  // counted, not per-source, so any dead source fails the flow — membership
-  // semantics.)
-  const net::FaultPlan& plan = state_->env()->fabric().fault_plan();
-  if (plan.active()) {
-    const SimTime now = wait->ProvisionalNow();
-    for (uint32_t s = 0; s < state_->num_sources(); ++s) {
-      if (!state_->multicast() && cursors_[s]->exhausted()) continue;
-      const net::NodeId src = state_->source_node(s);
-      if (!plan.NodeAlive(src, now)) {
-        last_status_ = Status::PeerFailed(
-            "replicate source " + std::to_string(s) + " on node " +
-            std::to_string(src) + " failed before closing the flow");
-        wait->Commit();
-        *out_result = ConsumeResult::kError;
-        return true;
-      }
-    }
-  }
-  if (!wait->Tick()) {
-    last_status_ =
-        Status::DeadlineExceeded("replicate consume deadline elapsed");
-    wait->Commit();
-    *out_result = ConsumeResult::kError;
-    return true;
-  }
-  return false;
-}
-
-void ReplicateTarget::Abort(const Status& cause) { state_->Abort(cause); }
-
-ConsumeResult ReplicateTarget::ConsumeNaive(SegmentView* out) {
-  ReadyGate* gate = state_->target_gate(target_index_);
-  const uint32_t n = static_cast<uint32_t>(cursors_.size());
-  DeadlineWait wait(state_->spec().options, &clock_);
-  // Serve segments in delivery order off the ready list — O(deliveries)
-  // instead of an O(num_sources) ring scan per segment. Exhaustion is
-  // counted at release transitions, so flow end needs no recount.
-  for (;;) {
-    const uint64_t version = gate->version();
-    if (held_cursor_ >= 0) {
-      ChannelTargetCursor& held = *cursors_[held_cursor_];
-      held.Release();
-      if (held.exhausted()) ++exhausted_count_;
-      held_cursor_ = -1;
-    }
-    uint32_t idx = 0;
-    while (gate->TryDequeue(&idx)) {
-      ChannelTargetCursor& cursor = *cursors_[idx];
-      if (cursor.exhausted()) continue;  // stale entry
-      SegmentView view;
-      if (!cursor.TryConsume(&view)) {
-        clock_.Advance(config_->consume_poll_ns);
-        continue;
-      }
-      clock_.Advance(config_->consume_segment_fixed_ns);
-      if (view.bytes == 0) {
-        cursor.Release();  // pure end marker
-        if (cursor.exhausted()) ++exhausted_count_;
-        continue;
-      }
-      held_cursor_ = static_cast<int>(idx);
-      *out = view;
-      return ConsumeResult::kOk;
-    }
-    if (exhausted_count_ == n) return ConsumeResult::kFlowEnd;
-    ConsumeResult failure;
-    if (CheckFailure(&wait, &failure)) return failure;
-    gate->WaitChangedFor(version, DeadlineWait::kRealSlice);
-  }
-}
-
-ConsumeResult ReplicateTarget::ConsumeMulticastUnordered(SegmentView* out) {
-  ReleaseHeld();
-  rdma::CompletionQueue* cq = state_->target_qp(target_index_)->recv_cq();
-  auto& ends = state_->ends_seen(target_index_);
-  DeadlineWait wait(state_->spec().options, &clock_);
-  for (;;) {
-    if (ends.load(std::memory_order_acquire) == state_->num_sources()) {
-      return ConsumeResult::kFlowEnd;
-    }
-    rdma::Completion c;
-    if (!cq->PollFor(&c, &clock_, kConsumePollSlice)) {
-      ConsumeResult failure;
-      if (CheckFailure(&wait, &failure)) return failure;
-      continue;
-    }
-    const uint32_t slot = static_cast<uint32_t>(c.wr_id);
-    const SegmentFooter* footer = SlotFooter(slot);
-    if (footer->end_of_flow()) {
-      ends.fetch_add(1, std::memory_order_acq_rel);
-      if (footer->fill_bytes == 0) {
-        // Pure end marker: recycle.
-        state_->target_qp(target_index_)
-            ->PostRecv(state_->recv_slot(target_index_, slot),
-                       state_->slot_bytes(), slot);
-        state_->ReportConsumed(target_index_, clock_.now());
-        continue;
-      }
-      // End marker carrying the source's final partial segment: deliver.
-    }
-    clock_.Advance(config_->consume_segment_fixed_ns);
-    held_slot_ = static_cast<int>(slot);
-    *out = SegmentView{state_->recv_slot(target_index_, slot),
-                       footer->fill_bytes,
-                       footer->sequence,
-                       footer->source_index,
-                       footer->end_of_flow(),
-                       c.time};
-    return ConsumeResult::kOk;
-  }
-}
-
-ConsumeResult ReplicateTarget::ConsumeMulticastOrdered(SegmentView* out) {
-  ReleaseHeld();
-  rdma::CompletionQueue* cq = state_->target_qp(target_index_)->recv_cq();
-  auto& ends = state_->ends_seen(target_index_);
-  DeadlineWait wait(state_->spec().options, &clock_);
-  for (;;) {
-    if (ends.load(std::memory_order_acquire) == state_->num_sources()) {
-      return ConsumeResult::kFlowEnd;
-    }
-    // Serve in order from the next list (paper Figure 6).
-    auto it = next_list_.begin();
-    if (it != next_list_.end() && it->first == expected_seq_) {
-      NextEntry entry = std::move(it->second);
-      next_list_.erase(it);
-      ++expected_seq_;
-      const uint8_t* base;
-      if (entry.slot != UINT32_MAX) {
-        base = state_->recv_slot(target_index_, entry.slot);
-      } else {
-        held_copy_ = std::move(entry.copy);
-        base = held_copy_.data();
-      }
-      const auto* footer = reinterpret_cast<const SegmentFooter*>(
-          base + state_->payload_capacity());
-      if (footer->end_of_flow()) {
-        // End markers are sequenced like data.
-        ends.fetch_add(1, std::memory_order_acq_rel);
-        if (footer->fill_bytes == 0) {
-          // Pure marker: recycle.
-          if (entry.slot != UINT32_MAX) {
-            held_slot_ = static_cast<int>(entry.slot);
-          }
-          ReleaseHeld();
-          continue;
-        }
-        // Marker carrying the final partial segment: fall through and
-        // deliver the payload.
-      }
-      clock_.Advance(config_->consume_segment_fixed_ns);
-      clock_.AdvanceTo(entry.arrival);
-      if (entry.slot != UINT32_MAX) {
-        held_slot_ = static_cast<int>(entry.slot);
-      }
-      *out = SegmentView{base,
-                         footer->fill_bytes,
-                         footer->sequence,
-                         footer->source_index,
-                         footer->end_of_flow(),
-                         entry.arrival};
-      return ConsumeResult::kOk;
-    }
-
-    // Pull arrivals into the next list.
-    rdma::Completion c;
-    if (cq->PollFor(&c, &clock_, kGapPollTimeout)) {
-      const uint32_t slot = static_cast<uint32_t>(c.wr_id);
-      const SegmentFooter* footer = SlotFooter(slot);
-      const uint64_t seq = footer->sequence;
-      if (seq < expected_seq_ || next_list_.count(seq) != 0) {
-        // Duplicate (e.g. a retransmission raced the original): recycle the
-        // slot without reporting consumption — the sequence was already
-        // credited once.
-        state_->target_qp(target_index_)
-            ->PostRecv(state_->recv_slot(target_index_, slot),
-                       state_->slot_bytes(), slot);
-        continue;
-      }
-      next_list_.emplace(seq, NextEntry{slot, {}, c.time});
-      continue;
-    }
-
-    // Poll timed out: first surface teardown / dead peers / the deadline,
-    // then consider gap recovery (paper section 5.4). With loss injection
-    // disabled nothing can be lost — the head sequence is merely still in
-    // flight (e.g. its sender was descheduled), so keep polling instead of
-    // issuing spurious recoveries.
-    ConsumeResult failure;
-    if (CheckFailure(&wait, &failure)) return failure;
-    if (config_->multicast_loss_probability <= 0 &&
-        !state_->env()->fabric().fault_plan().HasLossBursts()) {
-      continue;
-    }
-    // Evidence of loss is either a later segment already queued, or the
-    // missing sequence being present in a source's retransmit history
-    // (covers tail loss where no later segment will ever arrive).
-    if (state_->spec().options.app_handles_gaps) {
-      // Evidence: a later segment already queued, or the missing sequence
-      // recorded in a sender's history (covers tail loss, where nothing
-      // later will ever arrive).
-      std::vector<uint8_t> probe;
-      if (next_list_.empty() && !state_->LookupHistory(expected_seq_, &probe)) {
-        continue;  // nothing proves a gap yet
-      }
-      clock_.Advance(state_->spec().options.gap_timeout_ns);
-      out->payload = nullptr;
-      out->bytes = 0;
-      out->sequence = expected_seq_;  // the missing sequence number
-      out->end_of_flow = false;
-      out->arrival = clock_.now();
-      return ConsumeResult::kGap;
-    }
-    // Transparent recovery: request a retransmission. In-process this pulls
-    // straight from the source's retransmit history, charging the unicast
-    // round-trip it would cost on the wire.
-    std::vector<uint8_t> copy;
-    if (state_->LookupHistory(expected_seq_, &copy)) {
-      const net::SimConfig& cfg = *config_;
-      clock_.Advance(state_->spec().options.gap_timeout_ns);
-      clock_.Advance(2 * cfg.propagation_ns + cfg.ud_send_overhead_ns +
-                     static_cast<SimTime>(state_->slot_bytes() /
-                                          cfg.LinkBytesPerNs()));
-      next_list_.emplace(expected_seq_,
-                         NextEntry{UINT32_MAX, std::move(copy),
-                                   clock_.now()});
-    }
-    // Otherwise the segment is still in flight (or not yet sent); keep
-    // waiting.
-  }
-}
-
-ConsumeResult ReplicateTarget::Consume(TupleView* out) {
-  const uint32_t tuple_size =
-      static_cast<uint32_t>(schema().tuple_size());
-  for (;;) {
-    if (current_.payload != nullptr &&
-        tuple_offset_ + tuple_size <= current_.bytes) {
-      *out = TupleView(current_.payload + tuple_offset_, &schema());
-      tuple_offset_ += tuple_size;
-      clock_.Advance(config_->tuple_consume_fixed_ns);
-      return ConsumeResult::kOk;
-    }
-    current_ = SegmentView{};
-    tuple_offset_ = 0;
-    SegmentView view;
-    const ConsumeResult r = ConsumeSegment(&view);
-    if (r != ConsumeResult::kOk) return r;
-    current_ = view;
+  const ReplicateFlowSpec& spec = state_->spec();
+  const net::SimConfig* config = &state_->env()->config();
+  if (state_->multicast()) {
+    mcast_sink_.emplace(state_->mcast(), target_index_, &spec.schema,
+                        config, &clock_, "replicate",
+                        state_->source_nodes(), state_->abort_latch());
+  } else {
+    sink_.emplace(state_->matrix(), target_index_, &spec.schema, config,
+                  &clock_, "replicate", state_->source_nodes(),
+                  state_->abort_latch());
   }
 }
 
 void ReplicateTarget::SkipGap() {
-  DFI_CHECK(state_->ordered() && state_->spec().options.app_handles_gaps);
-  ++expected_seq_;
-  state_->ReportConsumed(target_index_, clock_.now());
+  DFI_CHECK(mcast_sink_.has_value())
+      << "gap handling requires the multicast transport";
+  mcast_sink_->SkipGap();
 }
 
 void ReplicateTarget::SupplyGap(const void* data, uint32_t bytes) {
-  DFI_CHECK(state_->ordered() && state_->spec().options.app_handles_gaps);
-  DFI_CHECK_LE(bytes, state_->payload_capacity());
-  std::vector<uint8_t> copy(state_->slot_bytes(), 0);
-  std::memcpy(copy.data(), data, bytes);
-  auto* footer = reinterpret_cast<SegmentFooter*>(
-      copy.data() + state_->payload_capacity());
-  footer->sequence = expected_seq_;
-  footer->fill_bytes = bytes;
-  footer->flags = kFlagConsumable;
-  footer->arrival_sim_time = clock_.now();
-  next_list_.emplace(expected_seq_,
-                     NextEntry{UINT32_MAX, std::move(copy), clock_.now()});
+  DFI_CHECK(mcast_sink_.has_value())
+      << "gap handling requires the multicast transport";
+  mcast_sink_->SupplyGap(data, bytes);
 }
 
 }  // namespace dfi

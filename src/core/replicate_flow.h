@@ -1,26 +1,25 @@
 #ifndef DFI_CORE_REPLICATE_FLOW_H_
 #define DFI_CORE_REPLICATE_FLOW_H_
 
-#include <atomic>
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
-#include "core/channel.h"
+#include "core/endpoint/abort_latch.h"
+#include "core/endpoint/channel_matrix.h"
+#include "core/endpoint/flow_endpoint.h"
+#include "core/endpoint/flow_sink.h"
+#include "core/endpoint/multicast.h"
 #include "core/flow_options.h"
 #include "core/nodes.h"
 #include "core/schema.h"
 #include "registry/flow_registry.h"
 #include "rdma/rdma_env.h"
-#include "rdma/ud_queue_pair.h"
 
 namespace dfi {
-
-class DeadlineWait;
 
 /// Declarative description of a replicate flow (paper section 4.2.2): every
 /// tuple pushed by any source is delivered to *all* targets. Topologies 1:N
@@ -37,10 +36,11 @@ struct ReplicateFlowSpec {
 
 /// Shared state of a replicate flow. For the naive transport this is the
 /// same private channel matrix as a shuffle flow (one ring per
-/// source/target pair, written one-sided). For multicast it holds the
-/// switch group, per-target UD receive machinery, the shared credit state
-/// and — when globally ordered — the tuple sequencer and per-source
-/// retransmit histories.
+/// source/target pair, written one-sided). For multicast it is the shared
+/// MulticastState (switch group, per-target UD receive machinery, credit
+/// window and — when globally ordered — the tuple sequencer and retransmit
+/// histories). Teardown has flow granularity either way: an AbortLatch
+/// shared by all participants.
 class ReplicateFlowState : public FlowStateBase {
  public:
   ReplicateFlowState(ReplicateFlowSpec spec, rdma::RdmaEnv* env);
@@ -55,110 +55,48 @@ class ReplicateFlowState : public FlowStateBase {
   }
   bool multicast() const { return spec_.options.use_multicast; }
   bool ordered() const { return spec_.options.global_ordering; }
-  uint32_t payload_capacity() const { return payload_capacity_; }
-  uint32_t pool_slots() const { return pool_slots_; }
-
-  // ---- Naive transport ---------------------------------------------------
-  ChannelShared* channel(uint32_t source, uint32_t target) {
-    return channels_[source * num_targets() + target].get();
+  uint32_t payload_capacity() const {
+    return mcast_ ? mcast_->payload_capacity() : payload_capacity_;
   }
-  ReadyGate* target_gate(uint32_t target) { return &target_gates_[target]; }
+
+  ChannelMatrix* matrix() { return &matrix_; }          // naive transport
+  MulticastState* mcast() { return mcast_.get(); }      // multicast
+  AbortLatch* abort_latch() { return &latch_; }
+
   net::NodeId source_node(uint32_t source) const {
     return source_nodes_[source];
   }
   net::NodeId target_node(uint32_t target) const {
     return target_nodes_[target];
   }
-
-  // ---- Multicast transport -----------------------------------------------
-  net::MulticastGroupId group() const { return group_; }
-  rdma::UdQueuePair* target_qp(uint32_t target) {
-    return target_qps_[target];
-  }
-  uint8_t* recv_slot(uint32_t target, uint32_t slot);
-  uint32_t slot_bytes() const {
-    return payload_capacity_ + sizeof(SegmentFooter);
-  }
-
-  /// Credit protocol (paper section 5.4): a message with position `p` may
-  /// only be sent once every target has consumed more than
-  /// `p - pool_slots` messages. Targets report consumption through a
-  /// back-flow counter; sources cache and refresh it with RDMA reads.
-  /// AcquirePosition fails with kPeerFailed when the sequencer node is
-  /// down; WaitForCredit fails with kDeadlineExceeded / kPeerFailed /
-  /// kAborted when the window cannot advance (dead or aborted target).
-  StatusOr<uint64_t> AcquirePosition(rdma::RcQueuePair* seq_qp,
-                                     VirtualClock* clock);
-  Status WaitForCredit(uint64_t position,
-                       std::vector<rdma::RcQueuePair*>& credit_qps,
-                       VirtualClock* clock);
-  void ReportConsumed(uint32_t target, SimTime now);
-  uint64_t LoadConsumed(uint32_t target) const;
-  rdma::RemoteRef credit_ref(uint32_t target) const;
-  rdma::RemoteRef sequencer_ref() const { return sequencer_mr_->RefAt(0); }
-  net::NodeId sequencer_node() const { return target_nodes_[0]; }
-  RingSync& credit_sync() { return credit_sync_; }
-
-  /// Ordered mode: retransmit history. Sources record every sent segment
-  /// (bounded) before sending; a target that timed out on a gap pulls the
-  /// segment from here (the emulation's stand-in for the paper's
-  /// lost-segment request back-flow).
-  void RecordHistory(uint32_t source, uint64_t seq, const uint8_t* data,
-                     uint32_t len);
-  bool LookupHistory(uint64_t seq, std::vector<uint8_t>* out) const;
-
-  /// End-of-flow bookkeeping for multicast targets.
-  std::atomic<uint32_t>& ends_seen(uint32_t target) {
-    return ends_seen_[target];
+  const std::vector<net::NodeId>& source_nodes() const {
+    return source_nodes_;
   }
 
   /// Tears the whole flow down. Replication is all-to-all (every target
   /// consumes every tuple), so teardown has flow granularity: naive-mode
-  /// channels are poisoned and multicast participants observe aborted() on
-  /// their next poll slice. First cause wins.
+  /// channels are poisoned and multicast participants observe the tripped
+  /// latch on their next poll slice. First cause wins.
   void Abort(const Status& cause) override;
-  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+  bool aborted() const { return latch_.tripped(); }
   /// The teardown cause (OK when not aborted).
-  Status abort_status() const;
+  Status abort_status() const { return latch_.status(); }
 
  private:
   const ReplicateFlowSpec spec_;
   rdma::RdmaEnv* const env_;
   std::vector<net::NodeId> source_nodes_;
   std::vector<net::NodeId> target_nodes_;
-  uint32_t payload_capacity_ = 0;
-  uint32_t pool_slots_ = 0;
-
-  // Naive transport.
-  std::vector<std::unique_ptr<ChannelShared>> channels_;
-  std::unique_ptr<ReadyGate[]> target_gates_;
-
-  // Multicast transport.
-  net::MulticastGroupId group_ = 0;
-  std::vector<rdma::UdQueuePair*> target_qps_;
-  std::vector<rdma::MemoryRegion*> recv_pools_;
-  std::vector<rdma::MemoryRegion*> credit_mrs_;  // one consumed counter each
-  std::unique_ptr<std::atomic<SimTime>[]> consume_time_;
-  rdma::MemoryRegion* sequencer_mr_ = nullptr;
-  std::atomic<uint64_t> unordered_positions_{0};
-  RingSync credit_sync_;
-  std::unique_ptr<std::atomic<uint32_t>[]> ends_seen_;
-
-  // Ordered mode retransmit history (per source).
-  struct History {
-    mutable std::mutex mu;
-    std::map<uint64_t, std::vector<uint8_t>> segments;
-  };
-  std::vector<std::unique_ptr<History>> histories_;
-  static constexpr size_t kHistoryDepth = 4096;
-
-  // Teardown state (multicast has no per-pair channel to poison).
-  std::atomic<bool> aborted_{false};
-  mutable std::mutex abort_mu_;
-  Status abort_cause_;
+  uint32_t payload_capacity_ = 0;  // naive transport
+  AbortLatch latch_;
+  ChannelMatrix matrix_;                   // naive transport
+  std::unique_ptr<MulticastState> mcast_;  // multicast transport
 };
 
-/// Source handle of a replicate flow.
+/// Source handle of a replicate flow: a FanoutEndpoint — tuples are staged
+/// once regardless of target count; the transport (BroadcastEndpoint for
+/// naive, MulticastSendEndpoint for switch replication) fans the segment
+/// out at transmit time.
 class ReplicateSource {
  public:
   ReplicateSource(std::shared_ptr<ReplicateFlowState> state,
@@ -168,46 +106,33 @@ class ReplicateSource {
   ReplicateSource& operator=(const ReplicateSource&) = delete;
 
   /// Pushes one tuple to *all* targets.
-  Status Push(const void* tuple);
-  Status Flush();
-  Status Close();
+  Status Push(const void* tuple) {
+    return endpoint_->Push(
+        tuple, static_cast<uint32_t>(schema().tuple_size()));
+  }
+  Status Flush() { return endpoint_->Flush(); }
+  Status Close() { return endpoint_->Close(); }
 
   /// Aborts without a clean end-of-flow. Replication is all-to-all, so the
   /// whole flow is torn down: every participant's next operation fails
   /// with `cause`.
-  void Abort(const Status& cause);
+  void Abort(const Status& cause) { endpoint_->Abort(cause); }
 
   const Schema& schema() const { return state_->spec().schema; }
   VirtualClock& clock() { return clock_; }
 
  private:
-  Status TransmitNaive(uint32_t fill, bool end);
-  Status TransmitMulticast(uint32_t fill, bool end);
-
   std::shared_ptr<ReplicateFlowState> state_;
   const uint32_t source_index_;
   VirtualClock clock_;
-
-  // Naive transport: one staged segment fanned out over per-target
-  // channels.
-  std::vector<std::unique_ptr<ChannelSource>> channels_;
-  rdma::MemoryRegion* staging_mr_ = nullptr;
-  SegmentRing staging_;
-  uint32_t staging_slot_ = 0;
-  uint32_t fill_ = 0;
-
-  // Multicast transport.
-  rdma::UdQueuePair* ud_qp_ = nullptr;
-  rdma::RcQueuePair* seq_qp_ = nullptr;  // sequencer fetch-and-add
-  std::vector<rdma::RcQueuePair*> credit_qps_;
-  uint64_t send_count_ = 0;
-  bool closed_ = false;
+  std::unique_ptr<FanoutEndpoint> endpoint_;
 };
 
-/// Target handle of a replicate flow. For ordered flows, consume returns
+/// Target handle of a replicate flow: a FlowSink (naive transport) or a
+/// MulticastSink (switch replication). For ordered flows, consume returns
 /// segments in global sequence order, reordering out-of-order arrivals via
-/// a receive list / next list (paper Figure 6) and handling gaps by
-/// timeout + retransmission (or by surfacing kGap to the application when
+/// the Sequencer policy (paper Figure 6) and handling gaps by timeout +
+/// retransmission (or by surfacing kGap to the application when
 /// FlowOptions::app_handles_gaps is set; out->sequence then holds the
 /// missing sequence number).
 class ReplicateTarget {
@@ -220,10 +145,15 @@ class ReplicateTarget {
 
   /// Blocking consume of the next segment (zero-copy into the receive
   /// pool / ring). Tuples are packed in the payload as in shuffle flows.
-  ConsumeResult ConsumeSegment(SegmentView* out);
+  ConsumeResult ConsumeSegment(SegmentView* out) {
+    return sink_ ? sink_->ConsumeSegment(out)
+                 : mcast_sink_->ConsumeSegment(out);
+  }
 
   /// Blocking consume of the next single tuple.
-  ConsumeResult Consume(TupleView* out);
+  ConsumeResult Consume(TupleView* out) {
+    return sink_ ? sink_->Consume(out) : mcast_sink_->Consume(out);
+  }
 
   /// Ordered + app_handles_gaps: skip the missing sequence the last kGap
   /// reported (the application decided it is a no-op). Reports the skipped
@@ -236,53 +166,23 @@ class ReplicateTarget {
   void SupplyGap(const void* data, uint32_t bytes);
 
   /// Aborts the whole flow (see ReplicateFlowState::Abort).
-  void Abort(const Status& cause);
+  void Abort(const Status& cause) { state_->Abort(cause); }
 
   /// The failure behind the last ConsumeResult::kError (OK otherwise).
-  const Status& last_status() const { return last_status_; }
+  const Status& last_status() const {
+    return sink_ ? sink_->last_status() : mcast_sink_->last_status();
+  }
 
   const Schema& schema() const { return state_->spec().schema; }
   uint32_t target_index() const { return target_index_; }
   VirtualClock& clock() { return clock_; }
 
  private:
-  ConsumeResult ConsumeNaive(SegmentView* out);
-  ConsumeResult ConsumeMulticastUnordered(SegmentView* out);
-  ConsumeResult ConsumeMulticastOrdered(SegmentView* out);
-  void ReleaseHeld();
-  /// One failure-poll round while blocked: surfaces flow teardown, channel
-  /// poison (naive mode), crashed sources (fault plan) or the flow deadline
-  /// as kError; ticks `wait`. True when the consume call must stop.
-  bool CheckFailure(DeadlineWait* wait, ConsumeResult* out_result);
-  /// Parses the footer at the end of a received datagram slot.
-  const SegmentFooter* SlotFooter(uint32_t slot) const;
-
   std::shared_ptr<ReplicateFlowState> state_;
   const uint32_t target_index_;
-  const net::SimConfig* config_;
   VirtualClock clock_;
-
-  // Naive transport.
-  std::vector<std::unique_ptr<ChannelTargetCursor>> cursors_;
-  uint32_t exhausted_count_ = 0;  // cursors that reached end-of-flow
-  int held_cursor_ = -1;
-
-  // Multicast transport.
-  int held_slot_ = -1;
-  std::vector<uint8_t> held_copy_;  // retransmitted segment storage
-  uint64_t expected_seq_ = 0;       // ordered mode
-  struct NextEntry {
-    uint32_t slot = UINT32_MAX;       // recv-pool slot, or
-    std::vector<uint8_t> copy;        // owned retransmit copy
-    SimTime arrival = 0;
-  };
-  std::map<uint64_t, NextEntry> next_list_;  // ordered mode reordering
-  uint32_t failed_polls_ = 0;
-
-  // Tuple iteration state.
-  SegmentView current_;
-  uint32_t tuple_offset_ = 0;
-  Status last_status_;
+  std::optional<FlowSink> sink_;            // naive transport
+  std::optional<MulticastSink> mcast_sink_;  // multicast transport
 };
 
 }  // namespace dfi

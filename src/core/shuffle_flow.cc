@@ -1,11 +1,8 @@
 #include "core/shuffle_flow.h"
 
-#include <algorithm>
-#include <cstring>
 #include <utility>
 
 #include "common/logging.h"
-#include "core/deadline.h"
 
 namespace dfi {
 
@@ -21,40 +18,12 @@ ShuffleFlowState::ShuffleFlowState(ShuffleFlowSpec spec, rdma::RdmaEnv* env)
   auto targets = spec_.targets.Resolve(env_->fabric());
   DFI_CHECK(targets.ok()) << targets.status();
   target_nodes_ = std::move(targets).value();
-
-  const uint32_t n = num_sources();
-  const uint32_t m = num_targets();
-  DFI_CHECK_GT(n, 0u);
-  DFI_CHECK_GT(m, 0u);
-  target_gates_ = std::make_unique<ReadyGate[]>(m);
-  channels_.resize(static_cast<size_t>(n) * m);
-  const uint32_t tuple_size =
-      static_cast<uint32_t>(spec_.schema.tuple_size());
-  for (uint32_t s = 0; s < n; ++s) {
-    for (uint32_t t = 0; t < m; ++t) {
-      auto channel = std::make_unique<ChannelShared>(
-          env_->context(target_nodes_[t]), spec_.options, tuple_size,
-          static_cast<uint16_t>(s));
-      channel->set_target_gate(&target_gates_[t]);
-      channels_[static_cast<size_t>(s) * m + t] = std::move(channel);
-    }
-  }
-}
-
-void ShuffleFlowState::Abort(const Status& cause) {
-  // Poison wakes both halves of every channel (sync + target gate), so
-  // blocked sources and targets observe the teardown promptly.
-  for (auto& ch : channels_) ch->Poison(cause);
-}
-
-uint64_t ShuffleFlowState::RingBytesOnNode(net::NodeId node) const {
-  uint64_t bytes = 0;
-  for (const auto& ch : channels_) {
-    if (ch->target_node() == node) {
-      bytes += ch->ring().total_bytes() + 64;  // ring + credit counter
-    }
-  }
-  return bytes;
+  DFI_CHECK_GT(num_sources(), 0u);
+  DFI_CHECK_GT(num_targets(), 0u);
+  matrix_ = ChannelMatrix(
+      env_, spec_.options,
+      static_cast<uint32_t>(spec_.schema.tuple_size()), num_sources(),
+      target_nodes_);
 }
 
 // ---------------------------------------------------------------------------
@@ -63,242 +32,17 @@ uint64_t ShuffleFlowState::RingBytesOnNode(net::NodeId node) const {
 
 ShuffleSource::ShuffleSource(std::shared_ptr<ShuffleFlowState> state,
                              uint32_t source_index)
-    : state_(std::move(state)),
-      source_index_(source_index),
-      tuple_size_(
-          static_cast<uint32_t>(state_->spec().schema.tuple_size())),
-      target_mod_(state_->num_targets()) {
+    : state_(std::move(state)), source_index_(source_index) {
   DFI_CHECK_LT(source_index_, state_->num_sources());
-  routing_spec_ = state_->spec().routing.set()
-                      ? state_->spec().routing
-                      : KeyHashRouting(state_->spec().shuffle_key_index);
-  routing_ = routing_spec_.MakeFn();
-  rdma::RdmaContext* ctx =
-      state_->env()->context(state_->source_node(source_index_));
-  const uint32_t m = state_->num_targets();
-  channels_.reserve(m);
-  for (uint32_t t = 0; t < m; ++t) {
-    channels_.push_back(std::make_unique<ChannelSource>(
-        state_->channel(source_index_, t), ctx, &clock_));
-  }
-  batch_cursors_.resize(m);
-}
-
-Status ShuffleSource::Push(const void* tuple) {
-  const uint32_t target = routing_(
-      TupleView(static_cast<const uint8_t*>(tuple), &state_->spec().schema),
-      state_->num_targets());
-  if (target >= state_->num_targets()) {
-    return Status::OutOfRange("routing function returned target " +
-                              std::to_string(target) + " of " +
-                              std::to_string(state_->num_targets()));
-  }
-  return channels_[target]->Push(tuple, tuple_size_);
-}
-
-Status ShuffleSource::PushTo(const void* tuple, uint32_t target_index) {
-  if (target_index >= state_->num_targets()) {
-    return Status::OutOfRange("target index " +
-                              std::to_string(target_index));
-  }
-  return channels_[target_index]->Push(tuple, tuple_size_);
-}
-
-Status ShuffleSource::AppendRun(uint32_t target, const uint8_t* run,
-                                size_t n) {
-  ChannelSource& ch = *channels_[target];
-  const uint32_t ts = tuple_size_;
-  while (n > 0) {
-    uint32_t granted = 0;
-    uint8_t* dst = nullptr;
-    DFI_RETURN_IF_ERROR(ch.ReserveTuples(
-        static_cast<uint32_t>(std::min<size_t>(n, UINT32_MAX)), &granted,
-        &dst));
-    DFI_CHECK_GT(granted, 0u);
-    std::memcpy(dst, run, static_cast<size_t>(granted) * ts);
-    DFI_RETURN_IF_ERROR(ch.CommitTuples(granted));
-    run += static_cast<size_t>(granted) * ts;
-    n -= granted;
-  }
-  return Status::OK();
-}
-
-Status ShuffleSource::PushBatch(const void* tuples, size_t count) {
-  if (count == 0) return Status::OK();
-  if (count > UINT32_MAX) {
-    return Status::InvalidArgument("batch too large; split it");
-  }
-  const uint8_t* base = static_cast<const uint8_t*>(tuples);
-  const uint32_t ts = tuple_size_;
-  const uint32_t m = state_->num_targets();
-  if (m == 1) {
-    // Degenerate partitioning: the whole run goes to target 0 as wide
-    // copies, no per-tuple work at all.
-    return AppendRun(0, base, count);
-  }
-
-  // One fused sweep: partition each tuple (devirtualized for the builtin
-  // partitioners — the only indirect call left is this function itself)
-  // and copy it straight into its channel's open reservation. Per-tuple
-  // Push order per target is preserved because tuples are emitted in batch
-  // order.
-  for (auto& cur : batch_cursors_) cur = BatchCursor{};
-  Status status;
-  // Commits whatever `cur` wrote into its open reservation (transmitting
-  // the now full segment) and opens the next one.
-  auto refill = [&](BatchCursor& cur, uint32_t target) {
-    ChannelSource& ch = *channels_[target];
-    if (cur.dst != cur.start) {
-      status = ch.CommitTuples(
-          static_cast<uint32_t>((cur.dst - cur.start) / ts));
-      if (!status.ok()) return false;
-    }
-    uint32_t granted = 0;
-    status = ch.ReserveTuples(UINT32_MAX, &granted, &cur.start);
-    if (!status.ok()) return false;
-    DFI_CHECK_GT(granted, 0u);
-    cur.dst = cur.start;
-    cur.end = cur.start + static_cast<size_t>(granted) * ts;
-    return true;
-  };
-  auto emit = [&](uint32_t target, const uint8_t* tuple) {
-    BatchCursor& cur = batch_cursors_[target];
-    if (cur.dst == cur.end && !refill(cur, target)) return false;
-    if (ts == 8) {
-      // Dominant case (8-byte tuples): a single load/store pair.
-      std::memcpy(cur.dst, tuple, 8);
-    } else {
-      std::memcpy(cur.dst, tuple, ts);
-    }
-    cur.dst += ts;
-    return true;
-  };
-
-  const Schema& schema = state_->spec().schema;
-  switch (routing_spec_.kind()) {
-    case RoutingSpec::Kind::kKeyHash: {
-      const size_t off = schema.offset(routing_spec_.key_field_index());
-      const size_t key_size =
-          schema.field_size(routing_spec_.key_field_index());
-      // Two-pass blocks: a tight partition loop (vectorizable hash, then
-      // magic-number modulo) followed by the scatter; splitting the passes
-      // keeps the hash chain and the copy chain independently pipelined.
-      constexpr size_t kBlock = 512;
-      const uint8_t* p = base;
-      if (ts == 8 && off == 0 && key_size == 8) {
-        // Dominant case — the tuple IS an 8-byte key: the hash pass runs
-        // over a dense u64 run (SIMD via HashKeys8), the modulo reduces to
-        // a mask when num_targets is a power of two, and the scatter is a
-        // fixed-width load/store pair per tuple.
-        uint64_t h[kBlock];
-        const bool pow2 = target_mod_.pow2();
-        const uint64_t mask = target_mod_.mask();
-        for (size_t done = 0; done < count;) {
-          const size_t n = std::min(kBlock, count - done);
-          HashKeys8(p, n, h);
-          for (size_t j = 0; j < n; ++j, p += 8) {
-            const uint32_t target = static_cast<uint32_t>(
-                pow2 ? (h[j] & mask) : target_mod_.Mod(h[j]));
-            BatchCursor& cur = batch_cursors_[target];
-            if (cur.dst == cur.end && !refill(cur, target)) return status;
-            std::memcpy(cur.dst, p, 8);
-            cur.dst += 8;
-          }
-          done += n;
-        }
-        break;
-      }
-      uint32_t tgt[kBlock];
-      for (size_t done = 0; done < count;) {
-        const size_t n = std::min(kBlock, count - done);
-        const uint8_t* q = p + off;
-        if (key_size == 8) {
-          // 8-byte keys load directly (arbitrary stride / offset).
-          for (size_t j = 0; j < n; ++j, q += ts) {
-            uint64_t k;
-            std::memcpy(&k, q, 8);
-            tgt[j] = static_cast<uint32_t>(target_mod_.Mod(HashU64(k)));
-          }
-        } else {
-          for (size_t j = 0; j < n; ++j, q += ts) {
-            tgt[j] = static_cast<uint32_t>(
-                target_mod_.Mod(HashU64(ReadKeyBytes(q, key_size))));
-          }
-        }
-        for (size_t j = 0; j < n; ++j, p += ts) {
-          if (!emit(tgt[j], p)) return status;
-        }
-        done += n;
-      }
-      break;
-    }
-    case RoutingSpec::Kind::kRadix: {
-      const size_t off = schema.offset(routing_spec_.key_field_index());
-      const size_t key_size =
-          schema.field_size(routing_spec_.key_field_index());
-      const uint32_t shift = routing_spec_.shift();
-      const uint32_t bits = routing_spec_.bits();
-      const uint8_t* p = base;
-      for (size_t i = 0; i < count; ++i, p += ts) {
-        const uint32_t part =
-            RadixBits(ReadKeyBytes(p + off, key_size), shift, bits);
-        DFI_DCHECK(part < m);
-        if (part >= m) {
-          return Status::OutOfRange("routing function returned target " +
-                                    std::to_string(part) + " of " +
-                                    std::to_string(m));
-        }
-        if (!emit(part, p)) return status;
-      }
-      break;
-    }
-    default: {  // kGeneric (kUnset is resolved away at construction)
-      const uint8_t* p = base;
-      for (size_t i = 0; i < count; ++i, p += ts) {
-        const uint32_t target = routing_(TupleView(p, &schema), m);
-        if (target >= m) {
-          return Status::OutOfRange("routing function returned target " +
-                                    std::to_string(target) + " of " +
-                                    std::to_string(m));
-        }
-        if (!emit(target, p)) return status;
-      }
-      break;
-    }
-  }
-
-  // Commit the partial tail reservations of every touched target.
-  for (uint32_t t = 0; t < m; ++t) {
-    const BatchCursor& cur = batch_cursors_[t];
-    if (cur.dst != cur.start) {
-      DFI_RETURN_IF_ERROR(channels_[t]->CommitTuples(
-          static_cast<uint32_t>((cur.dst - cur.start) / ts)));
-    }
-  }
-  return Status::OK();
-}
-
-Status ShuffleSource::Flush() {
-  for (auto& ch : channels_) {
-    DFI_RETURN_IF_ERROR(ch->Flush());
-  }
-  return Status::OK();
-}
-
-Status ShuffleSource::Close() {
-  // Attempt every channel even after a failure: targets whose channel did
-  // close should not be starved of their end-of-flow marker because a
-  // sibling channel's close failed.
-  Status first;
-  for (auto& ch : channels_) {
-    Status s = ch->Close();
-    if (first.ok() && !s.ok()) first = std::move(s);
-  }
-  return first;
-}
-
-void ShuffleSource::Abort(const Status& cause) {
-  for (auto& ch : channels_) ch->Abort(cause);
+  const RoutingSpec routing =
+      state_->spec().routing.set()
+          ? state_->spec().routing
+          : KeyHashRouting(state_->spec().shuffle_key_index);
+  partitioner_ = Partitioner::FromRouting(routing, &state_->spec().schema,
+                                          state_->num_targets());
+  endpoint_.emplace(
+      state_->matrix(), source_index_,
+      state_->env()->context(state_->source_node(source_index_)), &clock_);
 }
 
 // ---------------------------------------------------------------------------
@@ -307,146 +51,11 @@ void ShuffleSource::Abort(const Status& cause) {
 
 ShuffleTarget::ShuffleTarget(std::shared_ptr<ShuffleFlowState> state,
                              uint32_t target_index)
-    : state_(std::move(state)),
-      target_index_(target_index),
-      config_(&state_->env()->config()) {
+    : state_(std::move(state)), target_index_(target_index) {
   DFI_CHECK_LT(target_index_, state_->num_targets());
-  const uint32_t n = state_->num_sources();
-  cursors_.reserve(n);
-  for (uint32_t s = 0; s < n; ++s) {
-    cursors_.push_back(std::make_unique<ChannelTargetCursor>(
-        state_->channel(s, target_index_), &clock_));
-  }
-}
-
-void ShuffleTarget::ReleaseHeld() {
-  if (held_cursor_ < 0) return;
-  ChannelTargetCursor& held = *cursors_[held_cursor_];
-  // A held cursor is never already exhausted (exhaustion happens on the
-  // release of the end-of-flow segment), so exhausted() flipping true here
-  // is exactly the transition.
-  held.Release();
-  if (held.exhausted()) ++exhausted_count_;
-  held_cursor_ = -1;
-}
-
-bool ShuffleTarget::TryConsumeSegment(SegmentView* out,
-                                      ConsumeResult* out_result) {
-  // Release the previously returned segment.
-  ReleaseHeld();
-  // Pop delivered channels off the ready list instead of scanning all
-  // rings: cost is O(deliveries handled), independent of how many source
-  // channels sit idle.
-  ReadyGate* gate = state_->target_gate(target_index_);
-  uint32_t idx = 0;
-  while (gate->TryDequeue(&idx)) {
-    ChannelTargetCursor& cursor = *cursors_[idx];
-    if (cursor.exhausted()) continue;  // stale entry, already drained
-    SegmentView view;
-    if (!cursor.TryConsume(&view)) {
-      // Entry raced an earlier pop that consumed this delivery.
-      clock_.Advance(config_->consume_poll_ns);
-      continue;
-    }
-    clock_.Advance(config_->consume_segment_fixed_ns);
-    if (view.bytes == 0) {
-      // Pure end-of-flow marker: recycle silently. (End markers may also
-      // carry a final partial payload; those are surfaced normally.)
-      cursor.Release();
-      if (cursor.exhausted()) ++exhausted_count_;
-      continue;
-    }
-    held_cursor_ = static_cast<int>(idx);
-    *out = view;
-    *out_result = ConsumeResult::kOk;
-    return true;
-  }
-  if (exhausted_count_ == cursors_.size()) {
-    *out_result = ConsumeResult::kFlowEnd;
-    return true;  // definitive answer
-  }
-  // Nothing consumable: surface teardown through the non-blocking path too
-  // (already-delivered segments above still drain ahead of the error).
-  for (auto& cursor : cursors_) {
-    if (!cursor->exhausted() && cursor->shared()->poisoned()) {
-      last_status_ = cursor->shared()->poison_status();
-      *out_result = ConsumeResult::kError;
-      return true;
-    }
-  }
-  return false;
-}
-
-bool ShuffleTarget::CheckFailure(DeadlineWait* wait,
-                                 ConsumeResult* out_result) {
-  // A crashed source never sends its end-of-flow marker; ask the fault
-  // plan so the failure surfaces as kPeerFailed instead of waiting out the
-  // full deadline. (Poison is detected in TryConsumeSegment.)
-  const net::FaultPlan* plan =
-      cursors_.empty() ? nullptr : cursors_[0]->shared()->fault_plan();
-  if (plan != nullptr && plan->active()) {
-    const SimTime now = wait->ProvisionalNow();
-    for (uint32_t s = 0; s < cursors_.size(); ++s) {
-      if (cursors_[s]->exhausted()) continue;
-      const net::NodeId src = state_->source_node(s);
-      if (src != net::kInvalidNode && !plan->NodeAlive(src, now)) {
-        last_status_ = Status::PeerFailed(
-            "shuffle source " + std::to_string(s) + " on node " +
-            std::to_string(src) + " failed before closing its channel");
-        wait->Commit();
-        *out_result = ConsumeResult::kError;
-        return true;
-      }
-    }
-  }
-  if (!wait->Tick()) {
-    last_status_ = Status::DeadlineExceeded(
-        "consume deadline elapsed with " +
-        std::to_string(cursors_.size() - exhausted_count_) +
-        " source channel(s) still open");
-    wait->Commit();
-    *out_result = ConsumeResult::kError;
-    return true;
-  }
-  return false;
-}
-
-ConsumeResult ShuffleTarget::ConsumeSegment(SegmentView* out) {
-  ReadyGate* gate = state_->target_gate(target_index_);
-  DeadlineWait wait(state_->spec().options, &clock_);
-  for (;;) {
-    // Capture the gate version before scanning so a delivery racing with
-    // the scan is never missed.
-    const uint64_t version = gate->version();
-    ConsumeResult result;
-    if (TryConsumeSegment(out, &result)) return result;
-    if (CheckFailure(&wait, &result)) return result;
-    gate->WaitChangedFor(version, DeadlineWait::kRealSlice);
-  }
-}
-
-ConsumeResult ShuffleTarget::Consume(TupleView* out) {
-  const uint32_t tuple_size =
-      static_cast<uint32_t>(schema().tuple_size());
-  for (;;) {
-    if (current_.payload != nullptr &&
-        tuple_offset_ + tuple_size <= current_.bytes) {
-      *out = TupleView(current_.payload + tuple_offset_, &schema());
-      tuple_offset_ += tuple_size;
-      clock_.Advance(config_->tuple_consume_fixed_ns);
-      return ConsumeResult::kOk;
-    }
-    current_ = SegmentView{};
-    tuple_offset_ = 0;
-    SegmentView view;
-    const ConsumeResult r = ConsumeSegment(&view);
-    if (r != ConsumeResult::kOk) return r;
-    current_ = view;
-  }
-}
-
-void ShuffleTarget::Abort(const Status& cause) {
-  for (auto& cursor : cursors_) cursor->shared()->Poison(cause);
+  sink_.emplace(state_->matrix(), target_index_, &state_->spec().schema,
+                &state_->env()->config(), &clock_, "shuffle",
+                state_->source_nodes());
 }
 
 }  // namespace dfi

@@ -1,14 +1,17 @@
 #ifndef DFI_CORE_SHUFFLE_FLOW_H_
 #define DFI_CORE_SHUFFLE_FLOW_H_
 
-#include <atomic>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/sim_time.h"
 #include "common/status.h"
-#include "core/channel.h"
+#include "core/endpoint/channel_matrix.h"
+#include "core/endpoint/flow_endpoint.h"
+#include "core/endpoint/flow_sink.h"
+#include "core/endpoint/policies.h"
 #include "core/flow_options.h"
 #include "core/nodes.h"
 #include "core/routing.h"
@@ -17,8 +20,6 @@
 #include "rdma/rdma_env.h"
 
 namespace dfi {
-
-class DeadlineWait;
 
 /// Declarative description of a shuffle flow (paper Figure 1 / Table 1):
 /// N source threads route tuples to M target threads, supporting 1:1, N:1,
@@ -39,14 +40,15 @@ struct ShuffleFlowSpec {
 };
 
 /// Shared state of one initialized shuffle flow; published in the registry.
-/// Holds the private ring buffer of every (source thread, target thread)
-/// pair plus the target gates.
+/// A shuffle flow is pure transport — the whole state is the channel
+/// matrix.
 class ShuffleFlowState : public FlowStateBase {
  public:
   ShuffleFlowState(ShuffleFlowSpec spec, rdma::RdmaEnv* env);
 
   const ShuffleFlowSpec& spec() const { return spec_; }
   rdma::RdmaEnv* env() { return env_; }
+  ChannelMatrix* matrix() { return &matrix_; }
   uint32_t num_sources() const {
     return static_cast<uint32_t>(spec_.sources.size());
   }
@@ -55,35 +57,43 @@ class ShuffleFlowState : public FlowStateBase {
   }
 
   ChannelShared* channel(uint32_t source, uint32_t target) {
-    return channels_[source * num_targets() + target].get();
+    return matrix_.channel(source, target);
   }
-  ReadyGate* target_gate(uint32_t target) { return &target_gates_[target]; }
+  ReadyGate* target_gate(uint32_t target) {
+    return matrix_.target_gate(target);
+  }
   net::NodeId source_node(uint32_t source) const {
     return source_nodes_[source];
+  }
+  const std::vector<net::NodeId>& source_nodes() const {
+    return source_nodes_;
   }
 
   /// Registered bytes of all rings of this flow on `node` (memory
   /// accounting, paper section 6.1.4; excludes source-side staging which is
   /// counted when sources are created).
-  uint64_t RingBytesOnNode(net::NodeId node) const;
+  uint64_t RingBytesOnNode(net::NodeId node) const {
+    return matrix_.RingBytesOnNode(node);
+  }
 
   /// Tears down the whole flow: poisons every channel so all participants'
   /// next (or currently blocked) operation returns `cause`. Safe from any
   /// thread; endpoint-level Abort() calls funnel here.
-  void Abort(const Status& cause) override;
+  void Abort(const Status& cause) override { matrix_.PoisonAll(cause); }
 
  private:
   const ShuffleFlowSpec spec_;
   rdma::RdmaEnv* const env_;
   std::vector<net::NodeId> source_nodes_;
   std::vector<net::NodeId> target_nodes_;
-  std::vector<std::unique_ptr<ChannelShared>> channels_;
-  std::unique_ptr<ReadyGate[]> target_gates_;
+  ChannelMatrix matrix_;
 };
 
-/// Source handle of a shuffle flow, bound to one worker thread. Obtained
-/// from DfiRuntime::CreateShuffleSource. Push is asynchronous and returns
-/// as soon as the tuple is staged (paper section 3.3).
+/// Source handle of a shuffle flow, bound to one worker thread: a
+/// FlowEndpoint (the unified source transport) driven by the flow's
+/// Partitioner policy. Obtained from DfiRuntime::CreateShuffleSource. Push
+/// is asynchronous and returns as soon as the tuple is staged (paper
+/// section 3.3).
 class ShuffleSource {
  public:
   ShuffleSource(std::shared_ptr<ShuffleFlowState> state,
@@ -93,72 +103,52 @@ class ShuffleSource {
   ShuffleSource& operator=(const ShuffleSource&) = delete;
 
   /// Pushes one packed tuple, routed by the flow's key / routing function.
-  Status Push(const void* tuple);
+  Status Push(const void* tuple) {
+    return endpoint_->Push(tuple, &partitioner_);
+  }
   Status Push(TupleView tuple) { return Push(tuple.data()); }
 
   /// Batched push: partitions a run of `count` densely packed tuples and
   /// scatters them directly into the per-target staging segments in one
-  /// fused sweep over the batch (zero-copy reservations, see
-  /// ChannelSource::ReserveTuples). Builtin partitioners (key-hash, radix)
-  /// run devirtualized — one indirect call per batch instead of one per
-  /// tuple; a custom RoutingFn falls back to per-tuple dispatch for the
-  /// partitioning decision only. Delivers exactly the same per-target
-  /// tuple sequences as calling Push on each tuple in order.
-  Status PushBatch(const void* tuples, size_t count);
+  /// fused sweep over the batch (see FlowEndpoint::PushBatch). Delivers
+  /// exactly the same per-target tuple sequences as calling Push on each
+  /// tuple in order.
+  Status PushBatch(const void* tuples, size_t count) {
+    return endpoint_->PushBatch(tuples, count, &partitioner_);
+  }
 
   /// Pushes with an explicit target (paper section 4.2.1, option (3)).
-  Status PushTo(const void* tuple, uint32_t target_index);
+  Status PushTo(const void* tuple, uint32_t target_index) {
+    return endpoint_->PushTo(tuple, target_index);
+  }
 
   /// Transmits all partially-filled segments.
-  Status Flush();
+  Status Flush() { return endpoint_->Flush(); }
 
   /// Flushes and signals end-of-flow to every target. Idempotent.
-  Status Close();
+  Status Close() { return endpoint_->Close(); }
 
   /// Aborts this source's channels without a clean end-of-flow: every
   /// target observes the poisoned footer / shared poison state and its
   /// consume returns kError. Used when the worker cannot finish (crash
   /// simulation, upstream failure).
-  void Abort(const Status& cause);
+  void Abort(const Status& cause) { endpoint_->Abort(cause); }
 
   const Schema& schema() const { return state_->spec().schema; }
   uint32_t source_index() const { return source_index_; }
   VirtualClock& clock() { return clock_; }
 
  private:
-  /// Per-target write cursor into an open zero-copy reservation
-  /// (ChannelSource::ReserveTuples), refilled on demand while PushBatch
-  /// sweeps a batch. A pointer pair keeps the per-tuple hot path to one
-  /// compare and one bump; the committed tuple count is recovered as
-  /// (dst - start) / tuple_size at the (rare) refill and tail commits.
-  struct BatchCursor {
-    uint8_t* dst = nullptr;    // next write position
-    uint8_t* end = nullptr;    // reservation end; dst == end forces refill
-    uint8_t* start = nullptr;  // reservation base
-  };
-
-  /// Scatters a contiguous run of `n` tuples to one target (1-target flows
-  /// and explicit-target batches skip partitioning entirely).
-  Status AppendRun(uint32_t target, const uint8_t* run, size_t n);
-
   std::shared_ptr<ShuffleFlowState> state_;
   const uint32_t source_index_;
-  /// Cached schema().tuple_size(); immutable per flow, so the hot path
-  /// never re-derives it.
-  const uint32_t tuple_size_;
-  RoutingSpec routing_spec_;  // resolved (never kUnset)
-  RoutingFn routing_;         // per-tuple form of routing_spec_
-  FastDivisor target_mod_;    // magic-number `% num_targets`
   VirtualClock clock_;
-  std::vector<std::unique_ptr<ChannelSource>> channels_;  // one per target
-  std::vector<BatchCursor> batch_cursors_;  // scratch, one per target
+  Partitioner partitioner_;  // resolved routing policy (never kUnset)
+  std::optional<FlowEndpoint> endpoint_;
 };
 
-/// Target handle of a shuffle flow, bound to one worker thread. Consumes
-/// tuples (or whole segments, zero-copy) from its private rings in
-/// delivery order, popping ready-channel indices from the target gate
-/// (O(active channels) per consume) instead of round-robin scanning every
-/// ring (paper Figure 4's nextRing(), which is O(num_sources)).
+/// Target handle of a shuffle flow, bound to one worker thread: a FlowSink
+/// (the unified target transport) with no consume-side policy — shuffle
+/// targets surface segments and tuples as-is.
 class ShuffleTarget {
  public:
   ShuffleTarget(std::shared_ptr<ShuffleFlowState> state,
@@ -169,45 +159,36 @@ class ShuffleTarget {
 
   /// Blocking: next tuple out of the flow. Returns kFlowEnd once every
   /// source has closed and all segments are drained.
-  ConsumeResult Consume(TupleView* out);
+  ConsumeResult Consume(TupleView* out) { return sink_->Consume(out); }
 
   /// Blocking: next whole segment, zero-copy. The view is valid until the
   /// next ConsumeSegment/Consume call.
-  ConsumeResult ConsumeSegment(SegmentView* out);
+  ConsumeResult ConsumeSegment(SegmentView* out) {
+    return sink_->ConsumeSegment(out);
+  }
 
   /// Non-blocking variant; returns false if nothing is currently
   /// consumable (out_result distinguishes empty from flow end).
-  bool TryConsumeSegment(SegmentView* out, ConsumeResult* out_result);
+  bool TryConsumeSegment(SegmentView* out, ConsumeResult* out_result) {
+    return sink_->TryConsumeSegment(out, out_result);
+  }
 
   /// Aborts the target side: sources blocked on this target's full rings
   /// wake with kAborted instead of waiting out their deadline.
-  void Abort(const Status& cause);
+  void Abort(const Status& cause) { sink_->Abort(cause); }
 
   /// The failure behind the last ConsumeResult::kError (OK otherwise).
-  const Status& last_status() const { return last_status_; }
+  const Status& last_status() const { return sink_->last_status(); }
 
   const Schema& schema() const { return state_->spec().schema; }
   uint32_t target_index() const { return target_index_; }
   VirtualClock& clock() { return clock_; }
 
  private:
-  /// Releases the held cursor (if any), tracking its exhaustion.
-  void ReleaseHeld();
-  /// One failure-poll round while blocked: surfaces teardown (poison),
-  /// crashed sources (fault plan), or the flow deadline as kError; ticks
-  /// `wait`. Returns true when the consume call must stop.
-  bool CheckFailure(DeadlineWait* wait, ConsumeResult* out_result);
-
   std::shared_ptr<ShuffleFlowState> state_;
   const uint32_t target_index_;
-  const net::SimConfig* config_;
   VirtualClock clock_;
-  std::vector<std::unique_ptr<ChannelTargetCursor>> cursors_;  // per source
-  uint32_t exhausted_count_ = 0;  // cursors that reached end-of-flow
-  int held_cursor_ = -1;  // cursor whose segment `current_` views
-  SegmentView current_;
-  uint32_t tuple_offset_ = 0;  // iteration state within current_
-  Status last_status_;
+  std::optional<FlowSink> sink_;
 };
 
 }  // namespace dfi

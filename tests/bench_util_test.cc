@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <iterator>
+
 #include "bench_util/table_printer.h"
 #include "bench_util/workload.h"
 
@@ -21,6 +24,29 @@ TEST(TablePrinterTest, RaggedRowsDoNotCrash) {
   t.AddRow({"1"});
   t.AddRow({"1", "2", "3"});
   EXPECT_FALSE(t.ToString().empty());
+}
+
+TEST(TablePrinterTest, JsonCaptureIncludesMetrics) {
+  // The collector is process-wide, so this test owns everything captured.
+  EXPECT_FALSE(ResultCaptureEnabled());
+  RecordMetric("dropped before enable", 1.0, "x");  // must be a no-op
+  EnableResultCapture();
+  PrintSection("section one");
+  RecordMetric("peak bandwidth", 11.64, "GiB/s");
+  RecordMetric("speedup", 2.5, "x");
+  const std::string path = ::testing::TempDir() + "/metrics.json";
+  ASSERT_TRUE(WriteJsonResults(path));
+  std::ifstream in(path);
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"title\":\"section one\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("{\"name\":\"peak bandwidth\",\"value\":11.64,"
+                      "\"unit\":\"GiB/s\"}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"speedup\""), std::string::npos);
+  EXPECT_EQ(json.find("dropped before enable"), std::string::npos);
 }
 
 TEST(WorkloadTest, ForeignKeyRelationInDomain) {

@@ -53,12 +53,67 @@ TEST_F(CombinerTest, InitValidation) {
             StatusCode::kInvalidArgument);
 }
 
-TEST_F(CombinerTest, TargetsMustShareOneNode) {
+TEST_F(CombinerTest, MultiNodeTargetsRejectedWithoutOptIn) {
   auto spec = BaseSpec(1, 1);
   spec.targets.Append(Endpoint{"10.0.0.3", 0});
   spec.aggregates = {{AggFunc::kSum, 1}};
-  EXPECT_DEATH({ (void)dfi_.InitCombinerFlow(spec); },
-               "share one node");
+  EXPECT_EQ(dfi_.InitCombinerFlow(spec).code(),
+            StatusCode::kInvalidArgument);
+  // Same-node target sets never need the flag.
+  auto single = BaseSpec(1, 2);
+  single.aggregates = {{AggFunc::kSum, 1}};
+  EXPECT_TRUE(dfi_.InitCombinerFlow(std::move(single)).ok());
+}
+
+TEST_F(CombinerTest, MultiNodeTargetsPartitionGroups) {
+  // N:M topology: group-key partitions spread over two target nodes.
+  auto spec = BaseSpec(2, 1);
+  spec.targets.Append(Endpoint{"10.0.0.4", 0});
+  spec.multi_node_targets = true;
+  spec.aggregates = {{AggFunc::kSum, 1}, {AggFunc::kCount, 0}};
+  ASSERT_TRUE(dfi_.InitCombinerFlow(std::move(spec)).ok());
+
+  constexpr uint64_t kPerSource = 2048;  // multiple of kGroups: equal counts
+  constexpr uint64_t kGroups = 32;
+  std::vector<std::thread> threads;
+  for (uint32_t s = 0; s < 2; ++s) {
+    threads.emplace_back([&, s] {
+      auto source = dfi_.CreateCombinerSource("agg", s);
+      ASSERT_TRUE(source.ok());
+      for (uint64_t i = 0; i < kPerSource; ++i) {
+        Kv kv{i % kGroups, 2};
+        ASSERT_TRUE((*source)->Push(&kv).ok());
+      }
+      ASSERT_TRUE((*source)->Close().ok());
+    });
+  }
+  std::mutex mu;
+  std::map<uint64_t, AggRow> rows;
+  for (uint32_t t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      auto target = dfi_.CreateCombinerTarget("agg", t);
+      ASSERT_TRUE(target.ok());
+      AggRow row;
+      std::map<uint64_t, AggRow> local;
+      while ((*target)->ConsumeAggregate(&row) != ConsumeResult::kFlowEnd) {
+        // Group keys are hash-partitioned across the target threads exactly
+        // as in the single-node case.
+        ASSERT_EQ(HashU64(row.group_key) % 2, t);
+        local[row.group_key] = row;
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      for (auto& [k, r] : local) {
+        ASSERT_EQ(rows.count(k), 0u) << "group seen by two targets";
+        rows[k] = r;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(rows.size(), kGroups);
+  for (auto& [key, row] : rows) {
+    EXPECT_DOUBLE_EQ(row.values[0], 2.0 * 2 * kPerSource / kGroups);
+    EXPECT_DOUBLE_EQ(row.values[1], 2.0 * kPerSource / kGroups);
+  }
 }
 
 TEST_F(CombinerTest, SumGroupByMatchesReference) {

@@ -138,5 +138,47 @@ TEST_F(DfiRuntimeTest, TupleSizeMismatchRejectedOnPush) {
   EXPECT_EQ((*tgt)->Consume(&t), ConsumeResult::kFlowEnd);
 }
 
+// Teardown handshake regressions: repeated or post-abort lifecycle calls on
+// the same flow name must come back as clean Statuses, never crash.
+TEST_F(DfiRuntimeTest, DoubleCloseIsIdempotent) {
+  ASSERT_TRUE(dfi_.InitShuffleFlow(ShuffleSpec("f")).ok());
+  auto src = dfi_.CreateShuffleSource("f", 0);
+  ASSERT_TRUE(src.ok());
+  const uint64_t k = 7;
+  ASSERT_TRUE((*src)->Push(&k).ok());
+  EXPECT_TRUE((*src)->Close().ok());
+  EXPECT_TRUE((*src)->Close().ok());  // second close is a clean no-op
+  auto tgt = dfi_.CreateShuffleTarget("f", 0);
+  TupleView t;
+  EXPECT_EQ((*tgt)->Consume(&t), ConsumeResult::kOk);
+  EXPECT_EQ((*tgt)->Consume(&t), ConsumeResult::kFlowEnd);
+}
+
+TEST_F(DfiRuntimeTest, CloseAfterAbortFlowReturnsCleanStatus) {
+  ASSERT_TRUE(dfi_.InitShuffleFlow(ShuffleSpec("f")).ok());
+  auto src = dfi_.CreateShuffleSource("f", 0);
+  ASSERT_TRUE(src.ok());
+  ASSERT_TRUE(dfi_.AbortFlow("f", Status::Aborted("operator killed")).ok());
+  // The channels are poisoned: Close must surface a Status, not crash or
+  // pretend the end-of-flow marker was delivered.
+  EXPECT_FALSE((*src)->Close().ok());
+  auto tgt = dfi_.CreateShuffleTarget("f", 0);
+  SegmentView view;
+  EXPECT_EQ((*tgt)->ConsumeSegment(&view), ConsumeResult::kError);
+  EXPECT_EQ((*tgt)->last_status().code(), StatusCode::kAborted);
+  // Aborting an already-aborted flow keeps the first cause.
+  EXPECT_TRUE(
+      dfi_.AbortFlow("f", Status::PeerFailed("late second cause")).ok());
+  EXPECT_EQ((*tgt)->last_status().code(), StatusCode::kAborted);
+}
+
+TEST_F(DfiRuntimeTest, DoubleRemoveReturnsNotFound) {
+  ASSERT_TRUE(dfi_.InitShuffleFlow(ShuffleSpec("f")).ok());
+  EXPECT_TRUE(dfi_.RemoveFlow("f").ok());
+  EXPECT_EQ(dfi_.RemoveFlow("f").code(), StatusCode::kNotFound);
+  EXPECT_EQ(dfi_.AbortFlow("f", Status::Aborted("gone")).code(),
+            StatusCode::kNotFound);
+}
+
 }  // namespace
 }  // namespace dfi
