@@ -1,6 +1,7 @@
 #ifndef DFI_BENCH_BENCH_COMMON_H_
 #define DFI_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -87,7 +88,18 @@ inline int BenchMain(int argc, char** argv, void (*run)()) {
     }
     EnableResultCapture();
   }
+  const auto wall_start = std::chrono::steady_clock::now();
   run();
+  if (!json_path.empty()) {
+    // Every bench JSON carries the host wall-clock cost of the run — the
+    // emulator-throughput number CI trends alongside the simulated results.
+    PrintSection("Run cost");
+    RecordMetric("wall_clock", std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() -
+                                   wall_start)
+                                   .count(),
+                 "s");
+  }
   if (!json_path.empty() && !WriteJsonResults(json_path)) {
     std::fprintf(stderr, "error: could not write %s\n", json_path.c_str());
     return 1;

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Sanitized CI job for the fault-injection paths: builds everything with
-# -DDFI_SANITIZE=<address|undefined> and runs the full test suite (tier-1
-# plus the chaos suite) and the chaos consensus bench. Zero reports is the
-# acceptance bar — teardown/poison code is where lifetime bugs hide.
+# Sanitized CI job: builds everything with
+# -DDFI_SANITIZE=<address|undefined|thread> and runs the full test suite
+# (tier-1 plus the chaos suite) and the chaos consensus bench. Zero reports
+# is the acceptance bar — teardown/poison code is where lifetime bugs hide,
+# and the work-stealing scheduler is where data races would hide.
 set -euo pipefail
 
 KIND="${1:-address}"
@@ -16,11 +17,19 @@ cmake --build "$BUILD" -j "$(nproc)"
 # Make sanitizer findings fatal and loud.
 export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1:detect_leaks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
 
 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
 # The unified transport layer (FlowEndpoint/FlowSink) concentrates the
 # ring/teardown lifetime hazards the sanitizers exist for — rerun its suite
 # standalone with shuffling and repetition to shake out latent races.
 "$BUILD/tests/core_endpoint_test" --gtest_repeat=5 --gtest_shuffle
+if [ "$KIND" = "thread" ]; then
+  # TSan focus: the work-stealing engine. Repeat the scheduler unit tests
+  # and the cross-pool-size determinism suite — every park/wake handoff,
+  # steal, and fiber switch in the emulator runs under the race detector.
+  "$BUILD/tests/exec_engine_test" --gtest_repeat=10 --gtest_shuffle
+  "$BUILD/tests/engine_determinism_test" --gtest_repeat=3
+fi
 "$BUILD/bench/chaos_consensus" --seed "${DFI_CHAOS_SEED:-7}"
 echo "sanitized ($KIND) tier-1 + endpoint + chaos suite passed"

@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "apps/consensus/internal.h"
+#include "common/exec/engine.h"
 #include "rdma/queue_pair.h"
 
 namespace dfi::consensus {
@@ -75,10 +76,10 @@ StatusOr<ConsensusResult> RunDare(DfiRuntime* dfi,
 
   std::atomic<bool> failed{false};
   std::vector<ClientOutcome> outcomes(cfg.num_clients);
-  std::vector<std::thread> threads;
+  exec::ActorGroup actors;
 
   // ---- Leader: the serializing write protocol -----------------------------
-  threads.emplace_back([&] {
+  actors.Spawn(0, "dare.leader", [&] {
     auto submit_tgt = dfi->CreateShuffleTarget("dare.submit", 0);
     auto reply_src = dfi->CreateShuffleSource("dare.reply", 0);
     if (!submit_tgt.ok() || !reply_src.ok()) {
@@ -145,7 +146,8 @@ StatusOr<ConsensusResult> RunDare(DfiRuntime* dfi,
 
   // ---- Clients: strictly sequential (window 1) ----------------------------
   for (uint32_t c = 0; c < cfg.num_clients; ++c) {
-    threads.emplace_back([&, c] {
+    actors.Spawn(cfg.num_replicas + c % cfg.num_client_nodes,
+                 "dare.client." + std::to_string(c), [&, c] {
       auto submit_src = dfi->CreateShuffleSource("dare.submit", c);
       auto reply_tgt = dfi->CreateShuffleTarget("dare.reply", c);
       if (!submit_src.ok() || !reply_tgt.ok()) {
@@ -157,7 +159,7 @@ StatusOr<ConsensusResult> RunDare(DfiRuntime* dfi,
     });
   }
 
-  for (auto& t : threads) t.join();
+  actors.Join();
   for (const char* f : {"dare.submit", "dare.reply"}) {
     DFI_RETURN_IF_ERROR(dfi->RemoveFlow(f));
   }

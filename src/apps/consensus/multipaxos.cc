@@ -2,6 +2,7 @@
 #include <thread>
 
 #include "apps/consensus/internal.h"
+#include "common/exec/engine.h"
 
 namespace dfi::consensus {
 
@@ -81,10 +82,10 @@ StatusOr<ConsensusResult> RunMultiPaxos(DfiRuntime* dfi,
       static_cast<uint64_t>(cfg.num_clients) * cfg.requests_per_client;
   std::atomic<bool> failed{false};
   std::vector<ClientOutcome> outcomes(cfg.num_clients);
-  std::vector<std::thread> threads;
+  exec::ActorGroup actors;
 
   // ---- Leader -------------------------------------------------------------
-  threads.emplace_back([&] {
+  actors.Spawn(0, "mp.leader", [&] {
     auto submit_tgt = dfi->CreateShuffleTarget("mp.submit", 0);
     auto vote_tgt = dfi->CreateShuffleTarget("mp.vote", 0);
     auto propose_src = dfi->CreateReplicateSource("mp.propose", 0);
@@ -119,6 +120,9 @@ StatusOr<ConsensusResult> RunMultiPaxos(DfiRuntime* dfi,
     uint64_t replied = 0;
 
     while (replied < total_requests) {
+      // Epoch before the poll round: a delivery racing the scan bumps the
+      // epoch, so the IdleWait below returns immediately instead of parking.
+      const uint64_t epoch = exec::ProgressEpoch();
       bool progressed = false;
       // Merge the two incoming flows in *virtual* arrival order: real
       // delivery order does not track virtual time on an oversubscribed
@@ -177,9 +181,7 @@ StatusOr<ConsensusResult> RunMultiPaxos(DfiRuntime* dfi,
         }
         progressed = true;
       }
-      if (!progressed) {
-        std::this_thread::sleep_for(std::chrono::microseconds(50));
-      }
+      if (!progressed) exec::IdleWait(epoch);
     }
     DFI_CHECK_OK((*propose_src)->Close());
     DFI_CHECK_OK((*reply_src)->Close());
@@ -189,7 +191,7 @@ StatusOr<ConsensusResult> RunMultiPaxos(DfiRuntime* dfi,
 
   // ---- Followers ----------------------------------------------------------
   for (uint32_t r = 1; r < cfg.num_replicas; ++r) {
-    threads.emplace_back([&, r] {
+    actors.Spawn(r, "mp.follower." + std::to_string(r), [&, r] {
       auto propose_tgt = dfi->CreateReplicateTarget("mp.propose", r - 1);
       auto vote_src = dfi->CreateShuffleSource("mp.vote", r - 1);
       if (!propose_tgt.ok() || !vote_src.ok()) {
@@ -216,7 +218,8 @@ StatusOr<ConsensusResult> RunMultiPaxos(DfiRuntime* dfi,
 
   // ---- Clients ------------------------------------------------------------
   for (uint32_t c = 0; c < cfg.num_clients; ++c) {
-    threads.emplace_back([&, c] {
+    actors.Spawn(cfg.num_replicas + c % cfg.num_client_nodes,
+                 "mp.client." + std::to_string(c), [&, c] {
       auto submit_src = dfi->CreateShuffleSource("mp.submit", c);
       auto reply_tgt = dfi->CreateShuffleTarget("mp.reply", c);
       if (!submit_src.ok() || !reply_tgt.ok()) {
@@ -228,7 +231,7 @@ StatusOr<ConsensusResult> RunMultiPaxos(DfiRuntime* dfi,
     });
   }
 
-  for (auto& t : threads) t.join();
+  actors.Join();
   for (const char* f : {"mp.submit", "mp.propose", "mp.vote", "mp.reply"}) {
     DFI_RETURN_IF_ERROR(dfi->RemoveFlow(f));
   }

@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "apps/consensus/internal.h"
+#include "common/exec/engine.h"
 
 namespace dfi::consensus {
 
@@ -130,6 +131,7 @@ bool RunLeaderTerm(ShuffleTarget* submit_tgt, ShuffleTarget* vote_tgt,
   for (;;) {
     if (crash_at > 0 && sync_all() >= crash_at) return false;  // fail-stop
     if (submits.errored() || votes.errored()) return false;
+    const uint64_t epoch = exec::ProgressEpoch();
     bool progressed = false;
     SimTime submit_arrival = 0, vote_arrival = 0;
     const bool have_submit = submits.PeekArrival(&submit_arrival);
@@ -186,7 +188,7 @@ bool RunLeaderTerm(ShuffleTarget* submit_tgt, ShuffleTarget* vote_tgt,
       // every ordered command was committed and answered. (Term 1 under a
       // crash never gets here — the fail-stop above fires first.)
       if (submits.ended() && replied == next_index) break;
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      exec::IdleWait(epoch);
     }
   }
   if (!propose_src->Close().ok()) return false;
@@ -234,10 +236,10 @@ StatusOr<ChaosResult> RunMultiPaxosChaos(DfiRuntime* dfi,
   const uint32_t majority2 = (cfg.num_replicas - 1) / 2 + 1;
   std::atomic<bool> failed{false};
   std::vector<ChaosClientOutcome> outcomes(cfg.num_clients);
-  std::vector<std::thread> threads;
+  exec::ActorGroup actors;
 
   // ---- Term-1 leader (replica 0, the crash victim) ------------------------
-  threads.emplace_back([&] {
+  actors.Spawn(0, "mpx.t1.leader", [&] {
     auto submit_tgt = dfi->CreateShuffleTarget("mpx.t1.submit", 0);
     auto vote_tgt = dfi->CreateShuffleTarget("mpx.t1.vote", 0);
     auto propose_src = dfi->CreateReplicateSource("mpx.t1.propose", 0);
@@ -265,7 +267,7 @@ StatusOr<ChaosResult> RunMultiPaxosChaos(DfiRuntime* dfi,
 
   // ---- Followers (replicas 1..n-1): term 1, then their term-2 role --------
   for (uint32_t r = 1; r < cfg.num_replicas; ++r) {
-    threads.emplace_back([&, r] {
+    actors.Spawn(r, "mpx.follower." + std::to_string(r), [&, r] {
       auto propose_tgt = dfi->CreateReplicateTarget("mpx.t1.propose", r - 1);
       auto vote_src = dfi->CreateShuffleSource("mpx.t1.vote", r - 1);
       if (!propose_tgt.ok() || !vote_src.ok()) {
@@ -375,7 +377,8 @@ StatusOr<ChaosResult> RunMultiPaxosChaos(DfiRuntime* dfi,
 
   // ---- Clients: window 1, resubmit the in-flight request on failover ------
   for (uint32_t c = 0; c < cfg.num_clients; ++c) {
-    threads.emplace_back([&, c] {
+    actors.Spawn(cfg.num_replicas + c % cfg.num_client_nodes,
+                 "mpx.client." + std::to_string(c), [&, c] {
       auto submit1 = dfi->CreateShuffleSource("mpx.t1.submit", c);
       auto reply1 = dfi->CreateShuffleTarget("mpx.t1.reply", c);
       auto submit2 = dfi->CreateShuffleSource("mpx.t2.submit", c);
@@ -491,7 +494,7 @@ StatusOr<ChaosResult> RunMultiPaxosChaos(DfiRuntime* dfi,
     });
   }
 
-  for (auto& t : threads) t.join();
+  actors.Join();
   for (const char* f : kFlows) {
     DFI_RETURN_IF_ERROR(dfi->RemoveFlow(f));
   }

@@ -2,6 +2,7 @@
 #include <thread>
 
 #include "apps/consensus/internal.h"
+#include "common/exec/engine.h"
 
 namespace dfi::consensus {
 
@@ -82,11 +83,11 @@ StatusOr<ConsensusResult> RunNoPaxos(DfiRuntime* dfi,
 
   std::atomic<bool> failed{false};
   std::vector<ClientOutcome> outcomes(cfg.num_clients);
-  std::vector<std::thread> threads;
+  exec::ActorGroup actors;
 
   // ---- Replicas -----------------------------------------------------------
   for (uint32_t r = 0; r < cfg.num_replicas; ++r) {
-    threads.emplace_back([&, r] {
+    actors.Spawn(r, "np.replica." + std::to_string(r), [&, r] {
       auto oum_tgt = dfi->CreateReplicateTarget("np.oum", r);
       if (!oum_tgt.ok()) {
         failed.store(true);
@@ -156,7 +157,8 @@ StatusOr<ConsensusResult> RunNoPaxos(DfiRuntime* dfi,
 
   // ---- Clients ------------------------------------------------------------
   for (uint32_t c = 0; c < cfg.num_clients; ++c) {
-    threads.emplace_back([&, c] {
+    actors.Spawn(cfg.num_replicas + c % cfg.num_client_nodes,
+                 "np.client." + std::to_string(c), [&, c] {
       auto oum_src = dfi->CreateReplicateSource("np.oum", c);
       auto reply_tgt = dfi->CreateShuffleTarget("np.reply", c);
       auto ack_tgt = dfi->CreateShuffleTarget("np.ack", c);
@@ -201,6 +203,7 @@ StatusOr<ConsensusResult> RunNoPaxos(DfiRuntime* dfi,
       };
 
       while (done < cfg.requests_per_client) {
+        const uint64_t epoch = exec::ProgressEpoch();
         bool progressed = false;
         while (sent < cfg.requests_per_client &&
                sent - done < cfg.client_window) {
@@ -237,9 +240,7 @@ StatusOr<ConsensusResult> RunNoPaxos(DfiRuntime* dfi,
           }
           progressed = true;
         }
-        if (!progressed) {
-        std::this_thread::sleep_for(std::chrono::microseconds(50));
-      }
+        if (!progressed) exec::IdleWait(epoch);
       }
       out.completed = done;
       out.finish = sync3();
@@ -249,7 +250,7 @@ StatusOr<ConsensusResult> RunNoPaxos(DfiRuntime* dfi,
     });
   }
 
-  for (auto& t : threads) t.join();
+  actors.Join();
   for (const char* f : {"np.oum", "np.reply", "np.ack"}) {
     DFI_RETURN_IF_ERROR(dfi->RemoveFlow(f));
   }

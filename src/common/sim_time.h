@@ -2,6 +2,7 @@
 #define DFI_COMMON_SIM_TIME_H_
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 
 namespace dfi {
@@ -30,8 +31,13 @@ class VirtualClock {
 
   SimTime now() const { return now_.load(std::memory_order_acquire); }
 
-  /// Charges `delta` ns of virtual CPU/wait time.
+  /// Charges `delta` ns of virtual CPU/wait time. Charges are non-negative
+  /// by contract — a negative delta would let virtual time run backwards
+  /// and silently wrap the deterministic timeline. Debug builds assert;
+  /// release builds clamp to "no charge".
   void Advance(SimTime delta) {
+    assert(delta >= 0 && "VirtualClock::Advance with negative delta");
+    if (delta < 0) delta = 0;
     now_.store(now_.load(std::memory_order_relaxed) + delta,
                std::memory_order_release);
   }

@@ -263,11 +263,12 @@ Status ChannelSource::EnsureRemoteWritable(uint32_t idx) {
     return Status::OK();
   }
   // Slow path: the remote ring is full. On hardware the source polls the
-  // footer with RDMA reads and capped exponential backoff; here the thread
-  // sleeps in bounded slices while DeadlineWait keeps the virtual backoff
-  // ledger. A successful wait charges from the footer's free timestamp as
-  // before; teardown, a dead consumer, or the flow deadline end the wait
-  // with an error instead of hanging forever.
+  // footer with RDMA reads and capped exponential backoff; here the caller
+  // blocks (engine tasks park their fiber, plain threads sleep in bounded
+  // slices) while DeadlineWait keeps the virtual backoff ledger. A
+  // successful wait charges from the footer's free timestamp as before;
+  // teardown, a dead consumer, or the flow deadline end the wait with an
+  // error instead of hanging forever.
   DeadlineWait wait(shared_->options(), clock_);
   RingSync& sync = shared_->sync();
   for (;;) {
@@ -289,7 +290,7 @@ Status ChannelSource::EnsureRemoteWritable(uint32_t idx) {
           " not writable within " +
           std::to_string(shared_->options().block_deadline_ns) + "ns");
     }
-    sync.WaitChangedFor(seen, DeadlineWait::kRealSlice);
+    wait.Block(sync, seen);
   }
   clock_->AdvanceTo(ring.footer(idx)->arrival_sim_time);
   rdma::ReadDesc read;
@@ -353,7 +354,7 @@ Status ChannelSource::EnsureCredit() {
           "credit refresh: no credit within " +
           std::to_string(shared_->options().block_deadline_ns) + "ns");
     }
-    sync.WaitChangedFor(seen, DeadlineWait::kRealSlice);
+    wait.Block(sync, seen);
   }
   return Status::OK();
 }

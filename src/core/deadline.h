@@ -3,7 +3,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 
+#include "common/exec/engine.h"
 #include "common/sim_time.h"
 #include "core/flow_options.h"
 
@@ -60,6 +62,31 @@ class DeadlineWait {
   /// long enough that an idle blocked thread costs no measurable host CPU.
   static constexpr std::chrono::nanoseconds kRealSlice =
       std::chrono::microseconds(200);
+
+  /// One blocked poll round against `sync` — anything with `version()` and
+  /// `wait_point()` (RingSync, ReadyGate, rdma::CompletionQueue). Engine
+  /// tasks park the fiber until the version moves past `seen` or the
+  /// engine's virtual floor reaches the next backoff wake time — an idle
+  /// fleet jumps straight there instead of burning real sleep slices, so
+  /// deadline and fault discovery costs microseconds of wall clock. Plain
+  /// threads sleep one kRealSlice, byte-for-byte the historical behavior.
+  /// Returns true iff the version changed (as WaitChangedFor). Callers
+  /// loop, re-checking poison / fault / deadline conditions per round.
+  template <typename Sync>
+  bool Block(Sync& sync, uint64_t seen) {
+    if (exec::Engine::InTask()) {
+      exec::Engine::Park(&sync.wait_point(),
+                         [&] { return sync.version() != seen; },
+                         clock_->now(), ProvisionalNow() + backoff_ns_);
+      return sync.version() != seen;
+    }
+    if constexpr (requires { sync.WaitChangedFor(seen, kRealSlice); }) {
+      return sync.WaitChangedFor(seen, kRealSlice);
+    } else {
+      std::this_thread::sleep_for(kRealSlice);
+      return sync.version() != seen;
+    }
+  }
 
  private:
   VirtualClock* const clock_;

@@ -52,8 +52,14 @@ bool FlowSink::TryConsumeSegment(SegmentView* out,
     if (cursor.exhausted()) continue;  // stale entry, already drained
     SegmentView view;
     if (!cursor.TryConsume(&view)) {
-      // Entry raced an earlier pop that consumed this delivery.
-      clock_->Advance(config_->consume_poll_ns);
+      // Entry raced an earlier pop that consumed this delivery. The stale
+      // entry is an artifact of the ready list's real-time mirror of ring
+      // state — how many occur depends on host scheduling, not on emulated
+      // behavior — so charging virtual time here would leak host-schedule
+      // noise into the consumer clock (and, through slot-release
+      // timestamps, into producer wire times), breaking the determinism
+      // contract. Count it for stats instead.
+      ++stale_pops_;
       continue;
     }
     clock_->Advance(config_->consume_segment_fixed_ns);
@@ -134,7 +140,7 @@ ConsumeResult FlowSink::ConsumeSegment(SegmentView* out) {
     ConsumeResult result;
     if (TryConsumeSegment(out, &result)) return result;
     if (CheckFailure(&wait, &result)) return result;
-    gate_->WaitChangedFor(version, DeadlineWait::kRealSlice);
+    wait.Block(*gate_, version);
   }
 }
 

@@ -84,6 +84,7 @@ class FlowSink {
   const AbortLatch* const flow_abort_;  // may be null
   std::vector<std::unique_ptr<ChannelTargetCursor>> cursors_;  // per source
   uint32_t exhausted_count_ = 0;  // cursors that reached end-of-flow
+  uint64_t stale_pops_ = 0;  // ready-gate entries that raced an earlier pop
   int held_cursor_ = -1;  // cursor whose segment `current_` views
   SegmentView current_;
   uint32_t tuple_offset_ = 0;  // iteration state within current_

@@ -20,6 +20,23 @@ constexpr std::chrono::milliseconds kGapPollTimeout{5};
 /// cheap, short enough that teardown / fault-plan crashes surface promptly.
 constexpr std::chrono::milliseconds kConsumePollSlice{1};
 
+/// One blocked poll round on a recv CQ. Engine tasks take a non-blocking
+/// poll and park with the deadline's virtual backoff instead of holding an
+/// OS thread inside the CQ's condition variable; plain threads keep the
+/// historical real-time slice. Returns true when a completion was polled;
+/// false means the caller should run its failure / gap-recovery checks.
+bool PollRound(rdma::CompletionQueue* cq, VirtualClock* clock,
+               DeadlineWait* wait, std::chrono::milliseconds slice,
+               rdma::Completion* c) {
+  if (exec::Engine::InTask()) {
+    const uint64_t seen = cq->version();
+    if (cq->TryPoll(c, clock)) return true;
+    wait->Block(*cq, seen);
+    return false;
+  }
+  return cq->PollFor(c, clock, slice);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -175,7 +192,7 @@ Status MulticastState::WaitForCredit(
       return Status::DeadlineExceeded(
           "credit wait deadline at position " + std::to_string(position));
     }
-    credit_sync_.WaitChangedFor(seen, DeadlineWait::kRealSlice);
+    wait.Block(credit_sync_, seen);
   }
 
   // Success: charge virtual time from the limiting target's consume
@@ -371,7 +388,7 @@ ConsumeResult MulticastSink::ConsumeUnordered(SegmentView* out) {
       return ConsumeResult::kFlowEnd;
     }
     rdma::Completion c;
-    if (!cq->PollFor(&c, clock_, kConsumePollSlice)) {
+    if (!PollRound(cq, clock_, &wait, kConsumePollSlice, &c)) {
       ConsumeResult failure;
       if (CheckFailure(&wait, &failure)) return failure;
       continue;
@@ -453,7 +470,7 @@ ConsumeResult MulticastSink::ConsumeOrdered(SegmentView* out) {
 
     // Pull arrivals into the next list.
     rdma::Completion c;
-    if (cq->PollFor(&c, clock_, kGapPollTimeout)) {
+    if (PollRound(cq, clock_, &wait, kGapPollTimeout, &c)) {
       const uint32_t slot = static_cast<uint32_t>(c.wr_id);
       const SegmentFooter* footer = SlotFooter(slot);
       const uint64_t seq = footer->sequence;

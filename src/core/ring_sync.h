@@ -7,18 +7,26 @@
 #include <deque>
 #include <mutex>
 
+#include "common/exec/engine.h"
+
 namespace dfi {
 
-/// Real-time wakeup channel between the two ends of a ring.
+/// Wakeup channel between the two ends of a ring. Dual-mode:
 ///
-/// Emulation artifact (documented in DESIGN.md): on real hardware a blocked
-/// source spins, re-reading the remote footer with RDMA reads and random
-/// backoff, and a blocked target polls its local footer in main memory. In
-/// the emulation, spinning threads on an oversubscribed host would waste
-/// wall-clock time without affecting *virtual* time, so blocked threads
-/// sleep here instead and the virtual cost of the would-have-been polling
-/// is charged from footer timestamps when they wake. Performance-model
-/// behavior is unchanged; only host CPU waste is avoided.
+///   - Thread mode (historical): blocked OS threads sleep on a condition
+///     variable. Emulation artifact (documented in DESIGN.md): on real
+///     hardware a blocked source spins re-reading the remote footer; in the
+///     emulation spinning threads on an oversubscribed host would waste
+///     wall-clock time without affecting *virtual* time, so blocked threads
+///     sleep and the virtual cost of the would-have-been polling is charged
+///     from footer timestamps when they wake.
+///
+///   - Engine mode: when the caller is an exec::Engine task, waits park the
+///     *fiber* on the embedded WaitPoint and Notify reschedules it, so
+///     thousands of blocked actors cost no OS threads and no sleep slices.
+///
+/// Both modes share the version counter; the mode is chosen per call from
+/// exec::Engine::InTask(), so one binary serves both execution models.
 class RingSync {
  public:
   RingSync() = default;
@@ -32,6 +40,8 @@ class RingSync {
       ++version_;
     }
     cv_.notify_all();
+    wait_point_.WakeAll();
+    exec::BumpProgress();
   }
 
   /// Blocks until `pred()` is true. The predicate reads footer flags (with
@@ -39,6 +49,15 @@ class RingSync {
   template <typename Pred>
   void Wait(Pred pred) {
     if (pred()) return;
+    if (exec::Engine::InTask()) {
+      for (;;) {
+        const uint64_t seen = version();
+        if (pred()) return;
+        exec::Engine::Park(&wait_point_,
+                           [&] { return version() != seen; },
+                           /*now=*/-1, exec::Engine::kNoTimer);
+      }
+    }
     std::unique_lock<std::mutex> lock(mu_);
     uint64_t seen = version_;
     while (!pred()) {
@@ -55,6 +74,14 @@ class RingSync {
     return version_;
   }
   void WaitChanged(uint64_t seen) {
+    if (exec::Engine::InTask()) {
+      while (version() == seen) {
+        exec::Engine::Park(&wait_point_,
+                           [&] { return version() != seen; },
+                           /*now=*/-1, exec::Engine::kNoTimer);
+      }
+      return;
+    }
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [&] { return version_ != seen; });
   }
@@ -62,15 +89,25 @@ class RingSync {
   /// Bounded variant for deadline-aware waiters: returns once the version
   /// moves past `seen` or after `timeout` of real time, whichever is first
   /// (true iff the version changed). Callers loop, re-checking poison /
-  /// fault / deadline conditions between slices.
+  /// fault / deadline conditions between slices. Engine tasks should use
+  /// DeadlineWait::Block instead (virtual-time wakeups); this fallback
+  /// parks until the next Notify so a stray caller cannot stall a worker.
   bool WaitChangedFor(uint64_t seen, std::chrono::nanoseconds timeout) {
+    if (exec::Engine::InTask()) {
+      exec::Engine::Park(&wait_point_, [&] { return version() != seen; },
+                         /*now=*/-1, exec::Engine::kNoTimer);
+      return version() != seen;
+    }
     std::unique_lock<std::mutex> lock(mu_);
     return cv_.wait_for(lock, timeout, [&] { return version_ != seen; });
   }
 
+  exec::WaitPoint& wait_point() { return wait_point_; }
+
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  exec::WaitPoint wait_point_;
   uint64_t version_ = 0;
 };
 
@@ -89,6 +126,9 @@ class RingSync {
 /// TryConsume can be matched to one popped entry. Pops that find nothing
 /// consumable (e.g. an end marker already recycled) are skipped by the
 /// consumer.
+///
+/// Dual-mode like RingSync: engine tasks park their fiber, plain threads
+/// sleep on the condition variable.
 class ReadyGate {
  public:
   ReadyGate() = default;
@@ -104,6 +144,8 @@ class ReadyGate {
       ++version_;
     }
     cv_.notify_all();
+    wait_point_.WakeAll();
+    exec::BumpProgress();
   }
 
   /// Pops the oldest announced channel index; false when none is pending.
@@ -123,6 +165,8 @@ class ReadyGate {
       ++version_;
     }
     cv_.notify_all();
+    wait_point_.WakeAll();
+    exec::BumpProgress();
   }
 
   /// Lost-wakeup-safe two-phase waiting, as in RingSync: capture the
@@ -133,19 +177,35 @@ class ReadyGate {
     return version_;
   }
   void WaitChanged(uint64_t seen) {
+    if (exec::Engine::InTask()) {
+      while (version() == seen) {
+        exec::Engine::Park(&wait_point_,
+                           [&] { return version() != seen; },
+                           /*now=*/-1, exec::Engine::kNoTimer);
+      }
+      return;
+    }
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [&] { return version_ != seen; });
   }
 
   /// Bounded variant, as in RingSync::WaitChangedFor.
   bool WaitChangedFor(uint64_t seen, std::chrono::nanoseconds timeout) {
+    if (exec::Engine::InTask()) {
+      exec::Engine::Park(&wait_point_, [&] { return version() != seen; },
+                         /*now=*/-1, exec::Engine::kNoTimer);
+      return version() != seen;
+    }
     std::unique_lock<std::mutex> lock(mu_);
     return cv_.wait_for(lock, timeout, [&] { return version_ != seen; });
   }
 
+  exec::WaitPoint& wait_point() { return wait_point_; }
+
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  exec::WaitPoint wait_point_;
   std::deque<uint32_t> ready_;
   uint64_t version_ = 0;
 };

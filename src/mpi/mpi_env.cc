@@ -99,6 +99,8 @@ Status MpiEnv::Send(int src_rank, int dst_rank, int tag, const void* buf,
       mb.messages.push_back(std::move(msg));
     }
     mb.cv.notify_all();
+    mb.wait_point.WakeAll();
+    exec::BumpProgress();
     return Status::OK();
   }
 
@@ -114,7 +116,21 @@ Status MpiEnv::Send(int src_rank, int dst_rank, int tag, const void* buf,
     mb.messages.push_back(msg);
   }
   mb.cv.notify_all();
-  {
+  mb.wait_point.WakeAll();
+  exec::BumpProgress();
+  if (exec::Engine::InTask()) {
+    // Engine task: park the fiber until the receiver matches. The predicate
+    // is evaluated after the park intent is published, so a match racing
+    // with the park is never lost.
+    auto matched = [&] {
+      std::lock_guard<std::mutex> lock(mb.mu);
+      return msg->matched;
+    };
+    while (!matched()) {
+      exec::Engine::Park(&mb.wait_point, matched, clock->now(),
+                         exec::Engine::kNoTimer);
+    }
+  } else {
     std::unique_lock<std::mutex> lock(mb.mu);
     mb.cv.wait(lock, [&] { return msg->matched; });
   }
@@ -133,7 +149,24 @@ Status MpiEnv::Recv(int dst_rank, int src_rank, int tag, void* buf,
   Mailbox& mb = mailbox(src_rank, dst_rank, tag);
 
   std::shared_ptr<Message> msg;
-  {
+  if (exec::Engine::InTask()) {
+    auto has_message = [&] {
+      std::lock_guard<std::mutex> lock(mb.mu);
+      return !mb.messages.empty();
+    };
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(mb.mu);
+        if (!mb.messages.empty()) {
+          msg = mb.messages.front();
+          mb.messages.pop_front();
+          break;
+        }
+      }
+      exec::Engine::Park(&mb.wait_point, has_message, clock->now(),
+                         exec::Engine::kNoTimer);
+    }
+  } else {
     std::unique_lock<std::mutex> lock(mb.mu);
     mb.cv.wait(lock, [&] { return !mb.messages.empty(); });
     msg = mb.messages.front();
@@ -171,6 +204,8 @@ Status MpiEnv::Recv(int dst_rank, int src_rank, int tag, void* buf,
     msg->matched = true;
   }
   mb.cv.notify_all();
+  mb.wait_point.WakeAll();
+  exec::BumpProgress();
   clock->AdvanceTo(ingress.end);
   return Status::OK();
 }
@@ -185,11 +220,26 @@ SimTime MpiEnv::BarrierJoin(BarrierState& state, VirtualClock* clock) {
     ++state.generation;
     lock.unlock();
     state.cv.notify_all();
+    state.wait_point.WakeAll();
+    exec::BumpProgress();
     clock->AdvanceTo(state.release_time);
     return state.release_time;
   }
   const uint64_t gen = state.generation;
-  state.cv.wait(lock, [&] { return state.generation != gen; });
+  if (exec::Engine::InTask()) {
+    lock.unlock();
+    auto released = [&] {
+      std::lock_guard<std::mutex> relock(state.mu);
+      return state.generation != gen;
+    };
+    while (!released()) {
+      exec::Engine::Park(&state.wait_point, released, clock->now(),
+                         exec::Engine::kNoTimer);
+    }
+    lock.lock();
+  } else {
+    state.cv.wait(lock, [&] { return state.generation != gen; });
+  }
   const SimTime release = state.release_time;
   lock.unlock();
   clock->AdvanceTo(release);

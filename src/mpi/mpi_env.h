@@ -9,6 +9,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/exec/engine.h"
 #include "common/sim_time.h"
 #include "common/status.h"
 #include "net/fabric.h"
@@ -107,6 +108,7 @@ class MpiEnv {
   struct Mailbox {
     std::mutex mu;
     std::condition_variable cv;
+    exec::WaitPoint wait_point;  // parks engine tasks; cv parks threads
     std::deque<std::shared_ptr<Message>> messages;
   };
 
@@ -114,6 +116,7 @@ class MpiEnv {
   struct BarrierState {
     std::mutex mu;
     std::condition_variable cv;
+    exec::WaitPoint wait_point;  // parks engine tasks; cv parks threads
     uint32_t waiting = 0;
     uint64_t generation = 0;
     SimTime max_time = 0;

@@ -13,8 +13,7 @@ Node::Node(NodeId id, std::string address, const SimConfig& config)
       egress_("egress:" + address_, config.LinkBytesPerNs()),
       ingress_("ingress:" + address_, config.LinkBytesPerNs()) {}
 
-Switch::Switch(const SimConfig& config)
-    : config_(config), loss_rng_(config.loss_seed) {}
+Switch::Switch(const SimConfig& config) : config_(config) {}
 
 MulticastGroupId Switch::CreateGroup() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -53,12 +52,6 @@ TransferWindow Switch::ReserveGroup(MulticastGroupId group, SimTime ready,
     resource = groups_[group].resource.get();
   }
   return resource->Reserve(ready, bytes);
-}
-
-bool Switch::ShouldDrop() {
-  if (config_.multicast_loss_probability <= 0.0) return false;
-  std::lock_guard<std::mutex> lock(mu_);
-  return loss_rng_.NextBool(config_.multicast_loss_probability);
 }
 
 bool Switch::ShouldDropDelivery(uint64_t key, NodeId target,

@@ -2,6 +2,7 @@
 #define DFI_NET_FABRIC_H_
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -37,9 +38,17 @@ class Node {
   /// Link from the switch into this node's NIC.
   LinkScheduler& ingress() { return ingress_; }
 
-  /// Registered-memory accounting (paper section 6.1.4).
+  /// Registered-memory accounting (paper section 6.1.4). Deregistering more
+  /// than is registered would wrap the unsigned counter and poison every
+  /// later reading; debug builds assert, release builds clamp to zero.
   void AddRegisteredBytes(uint64_t bytes) { registered_bytes_ += bytes; }
-  void SubRegisteredBytes(uint64_t bytes) { registered_bytes_ -= bytes; }
+  void SubRegisteredBytes(uint64_t bytes) {
+    uint64_t cur = registered_bytes_.load(std::memory_order_relaxed);
+    assert(cur >= bytes && "SubRegisteredBytes underflow");
+    while (!registered_bytes_.compare_exchange_weak(
+        cur, cur >= bytes ? cur - bytes : 0, std::memory_order_relaxed)) {
+    }
+  }
   uint64_t registered_bytes() const { return registered_bytes_.load(); }
 
  private:
@@ -66,15 +75,12 @@ class Switch {
   TransferWindow ReserveGroup(MulticastGroupId group, SimTime ready,
                               uint64_t bytes);
 
-  /// Decides whether the delivery of one multicast message to one target is
-  /// dropped (loss injection; deterministic for a given config seed).
-  bool ShouldDrop();
-
   /// Deterministic per-delivery drop decision: hashes (loss seed, `key`,
   /// `target`) against the configured loss probability plus any fault-plan
-  /// loss burst active at virtual time `at`. Unlike ShouldDrop(), the
-  /// outcome does not depend on the order threads reach the switch, so a
-  /// given seed + plan drops the same deliveries on every run.
+  /// loss burst active at virtual time `at`. The outcome does not depend on
+  /// the order threads reach the switch, so a given seed + plan drops the
+  /// same deliveries on every run (the old RNG-based ShouldDrop() drew from
+  /// a shared stream in arrival order and broke that contract; it is gone).
   bool ShouldDropDelivery(uint64_t key, NodeId target, SimTime at) const;
 
   /// Same hashing scheme for reorder injection (delays one delivery past
@@ -95,7 +101,6 @@ class Switch {
   const FaultPlan* fault_plan_ = nullptr;
   mutable std::mutex mu_;
   std::vector<Group> groups_;
-  Xorshift128Plus loss_rng_;
 };
 
 /// The emulated cluster: node directory + switch + configuration. One

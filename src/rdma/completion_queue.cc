@@ -6,8 +6,11 @@ void CompletionQueue::Push(const Completion& c) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(c);
+    ++version_;
   }
   cv_.notify_one();
+  wait_point_.WakeAll();
+  exec::BumpProgress();
 }
 
 bool CompletionQueue::PopLocked(Completion* c, VirtualClock* clock) {
@@ -29,6 +32,18 @@ bool CompletionQueue::TryPoll(Completion* c, VirtualClock* clock) {
 }
 
 void CompletionQueue::PollBlocking(Completion* c, VirtualClock* clock) {
+  if (exec::Engine::InTask()) {
+    for (;;) {
+      const uint64_t seen = version();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (PopLocked(c, clock)) return;
+      }
+      exec::Engine::Park(&wait_point_,
+                         [&] { return version() != seen; }, clock->now(),
+                         exec::Engine::kNoTimer);
+    }
+  }
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait(lock, [this] { return !queue_.empty(); });
   PopLocked(c, clock);

@@ -6,6 +6,7 @@
 #include <deque>
 #include <mutex>
 
+#include "common/exec/engine.h"
 #include "common/sim_time.h"
 #include "rdma/verbs_types.h"
 
@@ -43,13 +44,23 @@ class CompletionQueue {
 
   size_t size() const;
 
+  /// Versioned-wakeup interface (as RingSync): engine tasks capture the
+  /// version, TryPoll, and park via DeadlineWait::Block when empty.
+  uint64_t version() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return version_;
+  }
+  exec::WaitPoint& wait_point() { return wait_point_; }
+
  private:
   bool PopLocked(Completion* c, VirtualClock* clock);
 
   const SimTime poll_cost_ns_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  exec::WaitPoint wait_point_;
   std::deque<Completion> queue_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace dfi::rdma

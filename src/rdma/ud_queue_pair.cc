@@ -107,11 +107,13 @@ StatusOr<OpTiming> UdQueuePair::PostSend(uint32_t dst_qpn, const void* buf,
   t.ack = egress.end;  // UD send completes locally once on the wire.
 
   // Unreliable semantics: datagrams to a crashed or partitioned node simply
-  // vanish — the sender still gets its (successful) send completion.
+  // vanish — the sender still gets its (successful) send completion. Loss is
+  // decided per (message, target) by a deterministic hash, as in multicast.
   const bool target_ok =
       !plan.active() || (plan.NodeAlive(dst->node(), t.arrival) &&
                          plan.Reachable(local_, dst->node(), t.arrival));
-  if (target_ok && !fabric.network_switch().ShouldDrop()) {
+  if (target_ok && !fabric.network_switch().ShouldDropDelivery(
+                       wr_id, dst->node(), t.arrival)) {
     dst->Deliver(buf, length, t.arrival, local_, wr_id);
   }
   if (signaled) {

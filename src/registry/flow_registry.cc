@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "common/exec/engine.h"
+#include "common/logging.h"
+
 namespace dfi {
 
 Status FlowRegistry::Publish(const std::string& name,
@@ -23,6 +26,7 @@ Status FlowRegistry::PublishWithLease(const std::string& name,
     flows_.emplace(name, std::move(entry));
   }
   cv_.notify_all();
+  exec::BumpProgress();
   return Status::OK();
 }
 
@@ -116,6 +120,9 @@ StatusOr<std::shared_ptr<FlowStateBase>> FlowRegistry::Retrieve(
 
 StatusOr<std::shared_ptr<FlowStateBase>> FlowRegistry::RetrieveBlocking(
     const std::string& name, std::chrono::milliseconds timeout) const {
+  DFI_CHECK(!exec::Engine::InTask())
+      << "RetrieveBlocking is a real-time driver-thread API; engine tasks "
+         "must poll Retrieve() and park instead";
   std::unique_lock<std::mutex> lock(mu_);
   if (!cv_.wait_for(lock, timeout,
                     [&] { return flows_.count(name) != 0; })) {

@@ -80,7 +80,9 @@ class FlowRegistry {
 
   /// Blocking retrieve: waits until the flow is published. Fails with
   /// kDeadlineExceeded once the timeout elapses (the caller's bounded
-  /// retrieve deadline, not a transient unavailability).
+  /// retrieve deadline, not a transient unavailability). Real-time API for
+  /// driver threads only — engine tasks must use Retrieve() in a parked
+  /// retry loop instead of occupying a scheduler worker (checked).
   StatusOr<std::shared_ptr<FlowStateBase>> RetrieveBlocking(
       const std::string& name,
       std::chrono::milliseconds timeout = std::chrono::milliseconds(10000))

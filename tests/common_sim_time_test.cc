@@ -1,0 +1,47 @@
+#include "common/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace dfi {
+namespace {
+
+TEST(VirtualClockTest, AdvanceAccumulates) {
+  VirtualClock clock;
+  clock.Advance(100);
+  clock.Advance(50);
+  EXPECT_EQ(clock.now(), 150);
+}
+
+TEST(VirtualClockTest, AdvanceToIsMaxJoin) {
+  VirtualClock clock;
+  clock.Advance(100);
+  clock.AdvanceTo(80);  // behind: no-op
+  EXPECT_EQ(clock.now(), 100);
+  clock.AdvanceTo(250);
+  EXPECT_EQ(clock.now(), 250);
+}
+
+#ifdef NDEBUG
+TEST(VirtualClockTest, NegativeAdvanceClampsInRelease) {
+  VirtualClock clock;
+  clock.Advance(100);
+  clock.Advance(-500);  // would wrap the timeline; clamped to no charge
+  EXPECT_EQ(clock.now(), 100);
+}
+#else
+TEST(VirtualClockDeathTest, NegativeAdvanceAssertsInDebug) {
+  VirtualClock clock;
+  clock.Advance(100);
+  EXPECT_DEATH(clock.Advance(-1), "negative delta");
+}
+#endif
+
+TEST(VirtualClockTest, ResetRestarts) {
+  VirtualClock clock(500);
+  EXPECT_EQ(clock.now(), 500);
+  clock.Reset();
+  EXPECT_EQ(clock.now(), 0);
+}
+
+}  // namespace
+}  // namespace dfi

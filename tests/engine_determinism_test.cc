@@ -1,0 +1,192 @@
+// Determinism of the parallel emulation engine (tentpole acceptance): the
+// same seeded workload must produce identical results at every worker-pool
+// size, and identical to the plain-thread execution. Task interleavings DO
+// vary with the pool size — what must not vary is anything the emulation
+// reports: per-channel FIFO delivery sequences, order-insensitive content
+// checksums, completion counts, and the fault plan's event trace.
+
+#include <array>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/consensus/consensus.h"
+#include "common/exec/engine.h"
+#include "core/dfi.h"
+
+namespace dfi {
+namespace {
+
+constexpr uint32_t kSources = 4;
+constexpr uint32_t kTargets = 4;
+constexpr uint64_t kTuplesPerSource = 4000;
+
+/// Everything the shuffle workload externally produces. Per-channel
+/// sequence hashes witness FIFO delivery order (deterministic by
+/// construction); target sums witness content independent of the
+/// cross-channel interleave (which legitimately varies with scheduling).
+struct ShuffleTrace {
+  std::map<std::pair<uint32_t, uint32_t>, uint64_t> channel_hash;
+  std::array<uint64_t, kTargets> target_tuples{};
+  uint64_t total_tuples = 0;
+
+  bool operator==(const ShuffleTrace& o) const {
+    return channel_hash == o.channel_hash &&
+           target_tuples == o.target_tuples &&
+           total_tuples == o.total_tuples;
+  }
+};
+
+uint64_t HashStep(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+/// The workload body: 4 sources push seeded key streams through a hashed
+/// shuffle, 4 targets drain and fingerprint what they see. Runs the actors
+/// on the ambient engine when called from inside one, on OS threads
+/// otherwise (ActorGroup picks).
+ShuffleTrace ShuffleWorkload(uint64_t seed) {
+  net::Fabric fabric;
+  std::vector<std::string> addrs;
+  for (net::NodeId id : fabric.AddNodes(kSources + kTargets)) {
+    addrs.push_back(fabric.node(id).address());
+  }
+  DfiRuntime dfi(&fabric);
+
+  ShuffleFlowSpec spec;
+  spec.name = "det.shuffle";
+  for (uint32_t s = 0; s < kSources; ++s) {
+    spec.sources.Append(Endpoint{addrs[s], 0});
+  }
+  for (uint32_t t = 0; t < kTargets; ++t) {
+    spec.targets.Append(Endpoint{addrs[kSources + t], 0});
+  }
+  spec.schema = Schema{{"key", DataType::kUInt64}};
+  spec.options.segments_per_ring = 8;  // shallow rings: handoff-heavy
+  spec.routing = [](TupleView t, uint32_t m) {
+    return static_cast<uint32_t>(t.Get<uint64_t>(0) % m);
+  };
+  DFI_CHECK(dfi.InitShuffleFlow(std::move(spec)).ok());
+
+  ShuffleTrace trace;
+  std::array<std::map<uint32_t, uint64_t>, kTargets> per_channel;
+  std::array<uint64_t, kTargets> counts{};
+
+  exec::ActorGroup actors;
+  for (uint32_t s = 0; s < kSources; ++s) {
+    actors.Spawn(s, "src." + std::to_string(s), [&dfi, s, seed] {
+      auto src = dfi.CreateShuffleSource("det.shuffle", s);
+      DFI_CHECK(src.ok());
+      uint64_t x = seed + s * 0x9e3779b97f4a7c15ull + 1;
+      for (uint64_t i = 0; i < kTuplesPerSource; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        DFI_CHECK((*src)->Push(&x).ok());
+      }
+      DFI_CHECK((*src)->Close().ok());
+    });
+  }
+  for (uint32_t t = 0; t < kTargets; ++t) {
+    actors.Spawn(kSources + t, "tgt." + std::to_string(t),
+                 [&dfi, &per_channel, &counts, t] {
+      auto tgt = dfi.CreateShuffleTarget("det.shuffle", t);
+      DFI_CHECK(tgt.ok());
+      SegmentView seg;
+      for (;;) {
+        const ConsumeResult r = (*tgt)->ConsumeSegment(&seg);
+        if (r == ConsumeResult::kFlowEnd) break;
+        DFI_CHECK(r == ConsumeResult::kOk);
+        const uint64_t* keys = reinterpret_cast<const uint64_t*>(seg.payload);
+        const uint64_t n = seg.bytes / sizeof(uint64_t);
+        uint64_t& h = per_channel[t][seg.source_index];
+        for (uint64_t i = 0; i < n; ++i) h = HashStep(h, keys[i]);
+        counts[t] += n;
+      }
+    });
+  }
+  actors.Join();
+
+  for (uint32_t t = 0; t < kTargets; ++t) {
+    for (const auto& [src, h] : per_channel[t]) {
+      trace.channel_hash[{src, t}] = h;
+    }
+    trace.target_tuples[t] = counts[t];
+    trace.total_tuples += counts[t];
+  }
+  return trace;
+}
+
+ShuffleTrace ShuffleUnderEngine(uint32_t workers, uint64_t seed) {
+  ShuffleTrace trace;
+  exec::Engine engine({.workers = workers, .lookahead_ns = 1000});
+  engine.Spawn(0, "root", [&] { trace = ShuffleWorkload(seed); });
+  engine.Run();
+  return trace;
+}
+
+TEST(EngineDeterminismTest, ShuffleTraceIdenticalAcrossPoolSizes) {
+  const uint64_t seed = 42;
+  const ShuffleTrace threads = ShuffleWorkload(seed);  // no engine
+  EXPECT_EQ(threads.total_tuples, uint64_t{kSources} * kTuplesPerSource);
+  for (uint32_t workers : {1u, 2u, 4u}) {
+    const ShuffleTrace engine = ShuffleUnderEngine(workers, seed);
+    EXPECT_TRUE(engine == threads)
+        << "engine trace diverged at pool size " << workers;
+  }
+}
+
+TEST(EngineDeterminismTest, ShuffleSeedChangesTrace) {
+  // Sanity: the fingerprint actually depends on the data.
+  EXPECT_FALSE(ShuffleUnderEngine(2, 1) == ShuffleUnderEngine(2, 2));
+}
+
+/// Chaos consensus: scripted leader crash + failover. The run's witnesses —
+/// completion count, resubmission count and the fault plan's canonical
+/// event trace — must be bit-identical at every pool size.
+struct ChaosTrace {
+  uint64_t completed = 0;
+  std::string fault_trace;
+
+  bool operator==(const ChaosTrace& o) const {
+    return completed == o.completed && fault_trace == o.fault_trace;
+  }
+};
+
+ChaosTrace ChaosWorkload() {
+  consensus::ChaosConfig chaos;
+  chaos.base.requests_per_client = 60;
+  chaos.base.seed = 7;
+  net::Fabric fabric;
+  std::vector<std::string> addrs;
+  for (net::NodeId id : fabric.AddNodes(chaos.base.num_replicas +
+                                        chaos.base.num_client_nodes)) {
+    addrs.push_back(fabric.node(id).address());
+  }
+  DfiRuntime dfi(&fabric);
+  auto r = consensus::RunMultiPaxosChaos(&dfi, addrs, chaos);
+  DFI_CHECK(r.ok()) << r.status();
+  ChaosTrace trace;
+  trace.completed = r->completed;
+  trace.fault_trace = r->fault_trace;
+  return trace;
+}
+
+TEST(EngineDeterminismTest, ChaosConsensusIdenticalAcrossPoolSizes) {
+  const ChaosTrace threads = ChaosWorkload();  // plain-thread reference
+  for (uint32_t workers : {1u, 2u, 4u}) {
+    ChaosTrace trace;
+    exec::Engine engine({.workers = workers, .lookahead_ns = 1000});
+    engine.Spawn(0, "root", [&] { trace = ChaosWorkload(); });
+    engine.Run();
+    EXPECT_TRUE(trace == threads)
+        << "chaos trace diverged at pool size " << workers;
+  }
+}
+
+}  // namespace
+}  // namespace dfi

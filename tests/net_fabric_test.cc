@@ -93,17 +93,42 @@ TEST(SwitchTest, LossInjectionRate) {
   Fabric fabric(cfg);
   Switch& sw = fabric.network_switch();
   int drops = 0;
-  for (int i = 0; i < 10000; ++i) {
-    if (sw.ShouldDrop()) ++drops;
+  for (uint64_t key = 0; key < 10000; ++key) {
+    if (sw.ShouldDropDelivery(key, /*target=*/1, /*at=*/0)) ++drops;
   }
   EXPECT_NEAR(drops, 1000, 150);
 }
 
+TEST(SwitchTest, LossInjectionDeterministic) {
+  SimConfig cfg;
+  cfg.multicast_loss_probability = 0.1;
+  Fabric a(cfg);
+  Fabric b(cfg);
+  for (uint64_t key = 0; key < 1000; ++key) {
+    EXPECT_EQ(a.network_switch().ShouldDropDelivery(key, 1, 0),
+              b.network_switch().ShouldDropDelivery(key, 1, 0));
+  }
+}
+
 TEST(SwitchTest, NoLossByDefault) {
   Fabric fabric;
-  for (int i = 0; i < 100; ++i) {
-    EXPECT_FALSE(fabric.network_switch().ShouldDrop());
+  for (uint64_t key = 0; key < 100; ++key) {
+    EXPECT_FALSE(fabric.network_switch().ShouldDropDelivery(key, 1, 0));
   }
+}
+
+TEST(NodeTest, SubRegisteredBytesClampsAtZero) {
+  Fabric fabric;
+  NodeId id = *fabric.AddNode("n0");
+  Node& n = fabric.node(id);
+  n.AddRegisteredBytes(100);
+  n.SubRegisteredBytes(60);
+  EXPECT_EQ(n.registered_bytes(), 40u);
+#ifdef NDEBUG
+  // Release builds clamp instead of wrapping (debug builds assert).
+  n.SubRegisteredBytes(1000);
+  EXPECT_EQ(n.registered_bytes(), 0u);
+#endif
 }
 
 }  // namespace
