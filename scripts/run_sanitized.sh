@@ -24,6 +24,11 @@ ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
 # ring/teardown lifetime hazards the sanitizers exist for — rerun its suite
 # standalone with shuffling and repetition to shake out latent races.
 "$BUILD/tests/core_endpoint_test" --gtest_repeat=5 --gtest_shuffle
+# The replicated control plane: failover promotion, the exactly-once dedup
+# window, and parked barrier/retrieve waiters are lifetime- and race-prone
+# by construction — rerun both suites shuffled.
+"$BUILD/tests/registry_service_test" --gtest_repeat=3 --gtest_shuffle
+"$BUILD/tests/flow_barrier_test" --gtest_repeat=3 --gtest_shuffle
 if [ "$KIND" = "thread" ]; then
   # TSan focus: the work-stealing engine. Repeat the scheduler unit tests
   # and the cross-pool-size determinism suite — every park/wake handoff,

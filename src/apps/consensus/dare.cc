@@ -160,9 +160,7 @@ StatusOr<ConsensusResult> RunDare(DfiRuntime* dfi,
   }
 
   actors.Join();
-  for (const char* f : {"dare.submit", "dare.reply"}) {
-    DFI_RETURN_IF_ERROR(dfi->RemoveFlow(f));
-  }
+  DFI_RETURN_IF_ERROR(dfi->RemoveFlows({"dare.submit", "dare.reply"}));
   if (failed.load()) return Status::Internal("dare worker failed");
 
   ConsensusResult result;

@@ -232,9 +232,8 @@ StatusOr<ConsensusResult> RunMultiPaxos(DfiRuntime* dfi,
   }
 
   actors.Join();
-  for (const char* f : {"mp.submit", "mp.propose", "mp.vote", "mp.reply"}) {
-    DFI_RETURN_IF_ERROR(dfi->RemoveFlow(f));
-  }
+  DFI_RETURN_IF_ERROR(
+      dfi->RemoveFlows({"mp.submit", "mp.propose", "mp.vote", "mp.reply"}));
   if (failed.load()) return Status::Internal("multi-paxos worker failed");
 
   ConsensusResult result;

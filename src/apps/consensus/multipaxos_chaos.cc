@@ -495,9 +495,8 @@ StatusOr<ChaosResult> RunMultiPaxosChaos(DfiRuntime* dfi,
   }
 
   actors.Join();
-  for (const char* f : kFlows) {
-    DFI_RETURN_IF_ERROR(dfi->RemoveFlow(f));
-  }
+  DFI_RETURN_IF_ERROR(
+      dfi->RemoveFlows({std::begin(kFlows), std::end(kFlows)}));
   for (const auto& o : outcomes) {
     if (o.failed) failed.store(true);
   }

@@ -251,9 +251,7 @@ StatusOr<ConsensusResult> RunNoPaxos(DfiRuntime* dfi,
   }
 
   actors.Join();
-  for (const char* f : {"np.oum", "np.reply", "np.ack"}) {
-    DFI_RETURN_IF_ERROR(dfi->RemoveFlow(f));
-  }
+  DFI_RETURN_IF_ERROR(dfi->RemoveFlows({"np.oum", "np.reply", "np.ack"}));
   if (failed.load()) return Status::Internal("nopaxos worker failed");
 
   ConsensusResult result;

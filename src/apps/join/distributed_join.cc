@@ -238,8 +238,7 @@ StatusOr<JoinResult> RunDfiRadixJoin(DfiRuntime* dfi,
     });
   }
   for (auto& t : threads) t.join();
-  DFI_RETURN_IF_ERROR(dfi->RemoveFlow("join.inner"));
-  DFI_RETURN_IF_ERROR(dfi->RemoveFlow("join.outer"));
+  DFI_RETURN_IF_ERROR(dfi->RemoveFlows({"join.inner", "join.outer"}));
   if (failed.load()) return Status::Internal("join worker failed");
 
   JoinResult result;

@@ -572,6 +572,18 @@ void IdleWait(uint64_t seen_epoch) {
                /*now=*/-1, Engine::kNoTimer);
 }
 
+WakeCause IdleWaitUntil(uint64_t seen_epoch, SimTime now, SimTime wake_at) {
+  Engine* e = Engine::Current();
+  if (e == nullptr) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    return ProgressEpoch() != seen_epoch ? WakeCause::kNotified
+                                         : WakeCause::kTimer;
+  }
+  return Engine::Park(&e->impl_->idle_point_,
+                      [seen_epoch] { return ProgressEpoch() != seen_epoch; },
+                      now, wake_at);
+}
+
 // ---- ActorGroup ----------------------------------------------------------
 
 void ActorGroup::Spawn(uint32_t domain, std::string name,

@@ -9,7 +9,11 @@
 namespace dfi {
 
 DfiRuntime::DfiRuntime(net::Fabric* fabric)
-    : fabric_(fabric), rdma_(std::make_unique<rdma::RdmaEnv>(fabric)) {
+    : fabric_(fabric),
+      rdma_(std::make_unique<rdma::RdmaEnv>(fabric)),
+      registry_service_(/*fabric=*/nullptr),  // loopback control plane
+      registry_client_(&registry_service_,
+                       reg::RegistryClientOptions{.enable_cache = false}) {
   DFI_CHECK(fabric != nullptr);
 }
 
@@ -19,7 +23,7 @@ template <typename StateT>
 StatusOr<std::shared_ptr<StateT>> DfiRuntime::LookupState(
     const std::string& flow_name) const {
   DFI_ASSIGN_OR_RETURN(std::shared_ptr<FlowStateBase> base,
-                       registry_.Retrieve(flow_name));
+                       registry_client_.Retrieve(flow_name));
   auto state = std::dynamic_pointer_cast<StateT>(base);
   if (state == nullptr) {
     return Status::InvalidArgument("flow '" + flow_name +
@@ -44,7 +48,7 @@ Status DfiRuntime::InitShuffleFlow(ShuffleFlowSpec spec) {
   const std::string name = spec.name;
   auto state = std::make_shared<ShuffleFlowState>(std::move(spec),
                                                   rdma_.get());
-  return registry_.Publish(name, std::move(state));
+  return registry_client_.Publish(name, std::move(state));
 }
 
 StatusOr<std::unique_ptr<ShuffleSource>> DfiRuntime::CreateShuffleSource(
@@ -84,7 +88,7 @@ Status DfiRuntime::InitReplicateFlow(ReplicateFlowSpec spec) {
   const std::string name = spec.name;
   auto state = std::make_shared<ReplicateFlowState>(std::move(spec),
                                                     rdma_.get());
-  return registry_.Publish(name, std::move(state));
+  return registry_client_.Publish(name, std::move(state));
 }
 
 StatusOr<std::unique_ptr<ReplicateSource>> DfiRuntime::CreateReplicateSource(
@@ -148,7 +152,7 @@ Status DfiRuntime::InitCombinerFlow(CombinerFlowSpec spec) {
   const std::string name = spec.name;
   auto state = std::make_shared<CombinerFlowState>(std::move(spec),
                                                    rdma_.get());
-  return registry_.Publish(name, std::move(state));
+  return registry_client_.Publish(name, std::move(state));
 }
 
 StatusOr<std::unique_ptr<CombinerSource>> DfiRuntime::CreateCombinerSource(
@@ -172,13 +176,22 @@ StatusOr<std::unique_ptr<CombinerTarget>> DfiRuntime::CreateCombinerTarget(
 }
 
 Status DfiRuntime::RemoveFlow(const std::string& flow_name) {
-  return registry_.Remove(flow_name);
+  return registry_client_.Close(flow_name);
+}
+
+Status DfiRuntime::RemoveFlows(const std::vector<std::string>& flow_names) {
+  DFI_ASSIGN_OR_RETURN(std::vector<reg::OpResult> results,
+                       registry_client_.CloseBatch(flow_names));
+  for (const reg::OpResult& r : results) {
+    DFI_RETURN_IF_ERROR(r.status);
+  }
+  return Status::OK();
 }
 
 Status DfiRuntime::AbortFlow(const std::string& flow_name,
                              const Status& cause) {
   DFI_ASSIGN_OR_RETURN(std::shared_ptr<FlowStateBase> base,
-                       registry_.Retrieve(flow_name));
+                       registry_client_.Retrieve(flow_name));
   base->Abort(cause);
   return Status::OK();
 }

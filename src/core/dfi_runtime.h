@@ -3,11 +3,14 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "core/shuffle_flow.h"
 #include "net/fabric.h"
 #include "registry/flow_registry.h"
+#include "registry/registry_client.h"
+#include "registry/registry_service.h"
 #include "rdma/rdma_env.h"
 
 namespace dfi {
@@ -45,7 +48,16 @@ class DfiRuntime {
 
   net::Fabric& fabric() { return *fabric_; }
   rdma::RdmaEnv& rdma() { return *rdma_; }
-  FlowRegistry& registry() { return registry_; }
+  /// The control plane behind this runtime. The default deployment is a
+  /// single-shard loopback service (no fabric coupling, zero virtual RPC
+  /// cost — flow metadata exchange is not part of the data-path model);
+  /// fabric-placed, replicated deployments construct their own
+  /// reg::RegistryService/Client pair (see bench/registry_churn).
+  reg::RegistryService& registry_service() { return registry_service_; }
+  /// The runtime's own control-plane client (driver-thread identity; cache
+  /// disabled — a loopback epoch never changes, so cached entries could
+  /// not be fenced after RemoveFlow).
+  reg::RegistryClient& registry_client() { return registry_client_; }
   const net::SimConfig& config() const { return fabric_->config(); }
 
   // ---- Shuffle flows -----------------------------------------------------
@@ -75,6 +87,11 @@ class DfiRuntime {
   /// endpoint handle drops).
   Status RemoveFlow(const std::string& flow_name);
 
+  /// Batched RemoveFlow: one control-plane round trip per owning shard
+  /// instead of one per flow. Returns the first per-flow error (all
+  /// removals are still attempted).
+  Status RemoveFlows(const std::vector<std::string>& flow_names);
+
   /// Tears a flow down by name: every participant's next (or currently
   /// blocked) operation fails with `cause`. NotFound if no such flow.
   Status AbortFlow(const std::string& flow_name, const Status& cause);
@@ -90,7 +107,9 @@ class DfiRuntime {
 
   net::Fabric* const fabric_;
   std::unique_ptr<rdma::RdmaEnv> rdma_;
-  FlowRegistry registry_;
+  reg::RegistryService registry_service_;
+  // mutable: lookups from const paths go through the client stub (stats).
+  mutable reg::RegistryClient registry_client_;
 };
 
 }  // namespace dfi

@@ -2,10 +2,16 @@
 
 #include <utility>
 
-#include "common/exec/engine.h"
 #include "common/logging.h"
 
 namespace dfi {
+
+void FlowRegistry::NotifyChanged() {
+  version_.fetch_add(1, std::memory_order_seq_cst);
+  cv_.notify_all();
+  wp_.WakeAll();
+  exec::BumpProgress();
+}
 
 Status FlowRegistry::Publish(const std::string& name,
                              std::shared_ptr<FlowStateBase> state) {
@@ -25,8 +31,7 @@ Status FlowRegistry::PublishWithLease(const std::string& name,
     entry.lease_expiry = lease_expiry;
     flows_.emplace(name, std::move(entry));
   }
-  cv_.notify_all();
-  exec::BumpProgress();
+  NotifyChanged();
   return Status::OK();
 }
 
@@ -39,18 +44,38 @@ void FlowRegistry::FailLocked(Entry* entry, const Status& cause) {
   if (entry->state != nullptr) entry->state->Abort(entry->fail_cause);
 }
 
-Status FlowRegistry::RenewLease(const std::string& name,
+Status FlowRegistry::RenewLease(const std::string& name, SimTime now,
                                 SimTime new_expiry) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = flows_.find(name);
-  if (it == flows_.end()) {
-    return Status::NotFound("flow '" + name + "'");
+  bool lapsed = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = flows_.find(name);
+    if (it == flows_.end()) {
+      return Status::NotFound("flow '" + name + "'");
+    }
+    Entry& entry = it->second;
+    if (entry.failed) {
+      return Status::FailedPrecondition("flow '" + name +
+                                        "' already marked failed");
+    }
+    if (entry.lease_expiry != 0 && now >= entry.lease_expiry) {
+      // The heartbeat arrived at or past the expiry: the lease lapsed in
+      // this very tick. Fail the flow here so the outcome is identical
+      // whether the scrubber's MarkExpired(now) ran before or after us.
+      FailLocked(&entry,
+                 Status::PeerFailed("flow '" + name + "' lease expired at " +
+                                    std::to_string(entry.lease_expiry) +
+                                    "ns"));
+      lapsed = true;
+    } else {
+      entry.lease_expiry = new_expiry;
+    }
   }
-  if (it->second.failed) {
+  if (lapsed) {
+    NotifyChanged();
     return Status::FailedPrecondition("flow '" + name +
-                                      "' already marked failed");
+                                      "' lease lapsed before renewal");
   }
-  it->second.lease_expiry = new_expiry;
   return Status::OK();
 }
 
@@ -64,7 +89,7 @@ Status FlowRegistry::MarkFailed(const std::string& name,
     }
     if (!it->second.failed) FailLocked(&it->second, cause);
   }
-  cv_.notify_all();
+  NotifyChanged();
   return Status::OK();
 }
 
@@ -84,7 +109,7 @@ size_t FlowRegistry::MarkExpired(SimTime now) {
       ++newly_failed;
     }
   }
-  if (newly_failed > 0) cv_.notify_all();
+  if (newly_failed > 0) NotifyChanged();
   return newly_failed;
 }
 
@@ -103,42 +128,129 @@ bool FlowRegistry::PublisherAlive(const std::string& name, SimTime now) {
                                   "ns"));
     fail_now = true;
   }
-  if (fail_now) cv_.notify_all();
+  if (fail_now) NotifyChanged();
   return false;
 }
 
 StatusOr<std::shared_ptr<FlowStateBase>> FlowRegistry::Retrieve(
     const std::string& name) const {
+  return Retrieve(name, nullptr);
+}
+
+StatusOr<std::shared_ptr<FlowStateBase>> FlowRegistry::Retrieve(
+    const std::string& name, SimTime* lease_expiry) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = flows_.find(name);
   if (it == flows_.end()) {
     return Status::NotFound("flow '" + name + "'");
   }
   if (it->second.failed) return it->second.fail_cause;
+  if (lease_expiry != nullptr) *lease_expiry = it->second.lease_expiry;
   return it->second.state;
 }
 
 StatusOr<std::shared_ptr<FlowStateBase>> FlowRegistry::RetrieveBlocking(
-    const std::string& name, std::chrono::milliseconds timeout) const {
-  DFI_CHECK(!exec::Engine::InTask())
-      << "RetrieveBlocking is a real-time driver-thread API; engine tasks "
-         "must poll Retrieve() and park instead";
+    const std::string& name, std::chrono::milliseconds timeout,
+    VirtualClock* clock) {
+  uint64_t ticket;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ticket = next_ticket_++;
+    ++pending_[name].waiters;
+  }
+  // Deregisters this waiter on every exit path; the last waiter out drops
+  // the per-name bookkeeping (and any handoff entry retained for it).
+  struct WaiterGuard {
+    FlowRegistry* reg;
+    const std::string& name;
+    ~WaiterGuard() {
+      std::lock_guard<std::mutex> lock(reg->mu_);
+      auto it = reg->pending_.find(name);
+      if (it != reg->pending_.end() && --it->second.waiters == 0) {
+        reg->pending_.erase(it);
+      }
+    }
+  } guard{this, name};
+
+  // Checks for a satisfied wait under mu_: a live entry wins; otherwise a
+  // handoff from a Remove that happened after this waiter registered.
+  auto check = [&](StatusOr<std::shared_ptr<FlowStateBase>>* out) {
+    auto it = flows_.find(name);
+    const Entry* entry = nullptr;
+    if (it != flows_.end()) {
+      entry = &it->second;
+    } else {
+      auto pit = pending_.find(name);
+      if (pit != pending_.end() && pit->second.has_handoff &&
+          ticket < pit->second.handoff_ticket_limit) {
+        entry = &pit->second.handoff;
+      }
+    }
+    if (entry == nullptr) return false;
+    *out = entry->failed
+               ? StatusOr<std::shared_ptr<FlowStateBase>>(entry->fail_cause)
+               : StatusOr<std::shared_ptr<FlowStateBase>>(entry->state);
+    return true;
+  };
+
+  StatusOr<std::shared_ptr<FlowStateBase>> result =
+      Status::DeadlineExceeded("flow '" + name + "' not published in time");
+
+  if (exec::Engine::InTask()) {
+    // Engine mode: the timeout is virtual time from the caller's clock.
+    // Park until the registry changes or the engine floor reaches the
+    // deadline; the expired deadline is committed to the clock so a timed-
+    // out retrieve costs exactly its budget, deterministically.
+    const SimTime base = clock != nullptr ? clock->now() : 0;
+    const SimTime deadline_vt =
+        base + static_cast<SimTime>(timeout.count()) * 1'000'000;
+    for (;;) {
+      uint64_t seen;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (check(&result)) return result;
+        seen = version_.load(std::memory_order_seq_cst);
+      }
+      const exec::WakeCause cause = exec::Engine::Park(
+          &wp_,
+          [&] { return version_.load(std::memory_order_seq_cst) != seen; },
+          clock != nullptr ? clock->now() : SimTime(-1), deadline_vt);
+      if (cause == exec::WakeCause::kTimer) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (check(&result)) return result;
+        if (clock != nullptr) clock->AdvanceTo(deadline_vt);
+        return Status::DeadlineExceeded("flow '" + name +
+                                        "' not published in time");
+      }
+    }
+  }
+
   std::unique_lock<std::mutex> lock(mu_);
-  if (!cv_.wait_for(lock, timeout,
-                    [&] { return flows_.count(name) != 0; })) {
+  if (!cv_.wait_for(lock, timeout, [&] { return check(&result); })) {
     return Status::DeadlineExceeded("flow '" + name +
                                     "' not published in time");
   }
-  const Entry& entry = flows_.at(name);
-  if (entry.failed) return entry.fail_cause;
-  return entry.state;
+  return result;
 }
 
 Status FlowRegistry::Remove(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (flows_.erase(name) == 0) {
-    return Status::NotFound("flow '" + name + "'");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = flows_.find(name);
+    if (it == flows_.end()) {
+      return Status::NotFound("flow '" + name + "'");
+    }
+    auto pit = pending_.find(name);
+    if (pit != pending_.end() && pit->second.waiters > 0) {
+      // Hand the entry off to retrievers that were already blocked: the
+      // publish they were waiting for must not vanish out from under them.
+      pit->second.has_handoff = true;
+      pit->second.handoff_ticket_limit = next_ticket_;
+      pit->second.handoff = it->second;
+    }
+    flows_.erase(it);
   }
+  NotifyChanged();
   return Status::OK();
 }
 

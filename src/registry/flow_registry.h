@@ -1,6 +1,7 @@
 #ifndef DFI_REGISTRY_FLOW_REGISTRY_H_
 #define DFI_REGISTRY_FLOW_REGISTRY_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <memory>
@@ -8,6 +9,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/exec/engine.h"
 #include "common/sim_time.h"
 #include "common/status.h"
 
@@ -25,7 +27,7 @@ class FlowStateBase {
   virtual void Abort(const Status& cause) { (void)cause; }
 };
 
-/// Central flow-metadata registry (the paper's "central registry, e.g. a
+/// Single-node flow-metadata store (the paper's "central registry, e.g. a
 /// master node": flow metadata is published on initialization and retrieved
 /// by sources/targets before use).
 ///
@@ -34,6 +36,21 @@ class FlowStateBase {
 /// emulation it is the flow-state object itself. The API shape (publish /
 /// retrieve by unique flow name, blocking retrieve for races between
 /// initializer and users) matches the paper's model.
+///
+/// Since the control-plane PR this class is also the storage engine of one
+/// shard *replica* inside reg::RegistryService — the sharded, replicated
+/// control plane that fronts it for million-flow deployments. Use
+/// reg::RegistryClient for anything beyond a single-process test.
+///
+/// Race semantics (all deterministic in virtual time):
+///   - RenewLease carries the renewer's virtual `now`: a renewal at or past
+///     the current expiry fails the flow exactly as MarkExpired(now) would,
+///     so renew-vs-scrub in the same virtual tick resolves identically in
+///     either call order.
+///   - Remove hands the removed entry off to retrievers already blocked in
+///     RetrieveBlocking: a publish/remove pair can never starve a retriever
+///     that was waiting when the pair landed. Retrievers that arrive after
+///     the Remove wait for a fresh publish as usual.
 class FlowRegistry {
  public:
   FlowRegistry() = default;
@@ -54,9 +71,13 @@ class FlowRegistry {
                           std::shared_ptr<FlowStateBase> state,
                           SimTime lease_expiry);
 
-  /// Extends a leased flow's expiry (heartbeat). NotFound if absent;
-  /// FailedPrecondition if the flow was already marked failed.
-  Status RenewLease(const std::string& name, SimTime new_expiry);
+  /// Extends a leased flow's expiry (heartbeat) at virtual time `now`.
+  /// NotFound if absent; FailedPrecondition if the flow was already marked
+  /// failed, or if `now >=` the current expiry — a too-late heartbeat does
+  /// not resurrect a lapsed lease, it fails the flow (the same outcome a
+  /// MarkExpired(now) in the same virtual tick would have produced, no
+  /// matter which call ran first).
+  Status RenewLease(const std::string& name, SimTime now, SimTime new_expiry);
 
   /// Marks a flow's publisher as failed (crash detection, e.g. by a fault
   /// plan or an operator) and aborts the flow state so blocked
@@ -74,21 +95,32 @@ class FlowRegistry {
   bool PublisherAlive(const std::string& name, SimTime now);
 
   /// Retrieves a flow's state; NotFound if absent, kPeerFailed (the
-  /// MarkFailed cause) if its publisher failed.
+  /// MarkFailed cause) if its publisher failed. The overload also reports
+  /// the flow's lease expiry (0 = unleased) so callers that cache the
+  /// result can fence it client-side.
   StatusOr<std::shared_ptr<FlowStateBase>> Retrieve(
       const std::string& name) const;
+  StatusOr<std::shared_ptr<FlowStateBase>> Retrieve(
+      const std::string& name, SimTime* lease_expiry) const;
 
   /// Blocking retrieve: waits until the flow is published. Fails with
   /// kDeadlineExceeded once the timeout elapses (the caller's bounded
-  /// retrieve deadline, not a transient unavailability). Real-time API for
-  /// driver threads only — engine tasks must use Retrieve() in a parked
-  /// retry loop instead of occupying a scheduler worker (checked).
+  /// retrieve deadline, not a transient unavailability).
+  ///
+  /// Dual-mode: on a plain thread the timeout is real time (cv wait,
+  /// byte-for-byte the historical behavior); inside an exec::Engine task
+  /// the fiber parks and the timeout is *virtual* time measured from
+  /// `clock->now()` (0 if no clock), so an idle fleet jumps straight to the
+  /// deadline instead of burning wall clock, and the deadline is charged to
+  /// `clock` on expiry.
   StatusOr<std::shared_ptr<FlowStateBase>> RetrieveBlocking(
       const std::string& name,
-      std::chrono::milliseconds timeout = std::chrono::milliseconds(10000))
-      const;
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(10000),
+      VirtualClock* clock = nullptr);
 
-  /// Removes a flow from the registry.
+  /// Removes a flow from the registry. Retrievers already blocked on the
+  /// name receive the removed entry (publish/remove handoff, see class
+  /// comment) instead of waiting out their full timeout.
   Status Remove(const std::string& name);
 
   size_t size() const;
@@ -101,12 +133,30 @@ class FlowRegistry {
     Status fail_cause;
   };
 
+  /// Blocked-retriever bookkeeping for one name. `handoff` retains the
+  /// entry of a Remove that landed while retrievers with a ticket below
+  /// `handoff_ticket_limit` were already waiting.
+  struct PendingWait {
+    uint32_t waiters = 0;
+    bool has_handoff = false;
+    uint64_t handoff_ticket_limit = 0;
+    Entry handoff;
+  };
+
   /// Marks `entry` failed and aborts its state. Caller holds mu_.
   static void FailLocked(Entry* entry, const Status& cause);
 
+  /// Bumps the change version and wakes both thread- and engine-mode
+  /// waiters. Call *after* releasing mu_.
+  void NotifyChanged();
+
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
+  std::atomic<uint64_t> version_{0};
+  mutable exec::WaitPoint wp_;
+  uint64_t next_ticket_ = 0;
   std::unordered_map<std::string, Entry> flows_;
+  std::unordered_map<std::string, PendingWait> pending_;
 };
 
 }  // namespace dfi
