@@ -29,6 +29,10 @@ ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
 # by construction — rerun both suites shuffled.
 "$BUILD/tests/registry_service_test" --gtest_repeat=3 --gtest_shuffle
 "$BUILD/tests/flow_barrier_test" --gtest_repeat=3 --gtest_shuffle
+# Adaptive shuffle: sink-side work stealing shares columns between target
+# threads and hot-key migration rewires routing mid-flow — both are prime
+# race/lifetime territory, so shake the property suite too.
+"$BUILD/tests/core_adaptive_shuffle_property_test" --gtest_repeat=3 --gtest_shuffle
 if [ "$KIND" = "thread" ]; then
   # TSan focus: the work-stealing engine. Repeat the scheduler unit tests
   # and the cross-pool-size determinism suite — every park/wake handoff,

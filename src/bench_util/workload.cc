@@ -39,6 +39,50 @@ std::vector<JoinTuple> GeneratePrimaryKeyRelation(uint64_t count,
   return out;
 }
 
+std::vector<JoinTuple> GenerateZipfianRelation(uint64_t count,
+                                               uint64_t key_domain,
+                                               double theta, uint64_t seed) {
+  DFI_CHECK_GT(key_domain, 0u);
+  std::vector<JoinTuple> out;
+  out.reserve(count);
+  if (theta == 0.0) {
+    // Exactly the uniform generator: theta=0 must be digit-identical to the
+    // static baselines that use GenerateUniformRelation.
+    return GenerateUniformRelation(count, key_domain, seed);
+  }
+  ZipfGenerator zipf(key_domain, theta, seed);
+  for (uint64_t i = 0; i < count; ++i) {
+    out.push_back(JoinTuple{zipf.Next(), i});
+  }
+  return out;
+}
+
+std::vector<JoinTuple> GenerateHotKeyRelation(uint64_t count,
+                                              uint64_t key_domain,
+                                              uint64_t hot_keys,
+                                              double hot_fraction,
+                                              uint64_t seed) {
+  DFI_CHECK_GT(key_domain, 0u);
+  DFI_CHECK_LE(hot_keys, key_domain);
+  Xorshift128Plus rng(seed);
+  std::vector<JoinTuple> out;
+  out.reserve(count);
+  const uint64_t cold_domain = key_domain - hot_keys;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t key;
+    if (hot_keys > 0 && rng.NextBool(hot_fraction)) {
+      // Hot keys occupy the front of the domain so tests can identify them.
+      key = rng.NextBelow(hot_keys);
+    } else if (cold_domain > 0) {
+      key = hot_keys + rng.NextBelow(cold_domain);
+    } else {
+      key = rng.NextBelow(key_domain);
+    }
+    out.push_back(JoinTuple{key, i});
+  }
+  return out;
+}
+
 std::vector<KvRequest> GenerateYcsbRequests(uint64_t count,
                                             uint64_t key_space,
                                             double write_fraction,

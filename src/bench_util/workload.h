@@ -32,6 +32,25 @@ std::vector<JoinTuple> GenerateForeignKeyRelation(uint64_t outer_count,
 std::vector<JoinTuple> GeneratePrimaryKeyRelation(uint64_t count,
                                                   uint64_t seed);
 
+/// Generates `count` tuples whose keys follow a zipfian distribution over
+/// [0, key_domain) with skew parameter `theta` (theta = 0 -> uniform; the
+/// YCSB convention: higher theta = more skew, ~0.99 is the YCSB default).
+/// Deterministic for a seed; payloads are the tuple index so duplicates
+/// stay distinguishable in multiset checks.
+std::vector<JoinTuple> GenerateZipfianRelation(uint64_t count,
+                                               uint64_t key_domain,
+                                               double theta, uint64_t seed);
+
+/// Generates `count` tuples where a `hot_fraction` share of tuples hit one
+/// of `hot_keys` designated hot keys (spread uniformly among them) and the
+/// rest draw uniformly from the cold remainder of [0, key_domain). Models
+/// the adversarial "one key owns the flow" case more sharply than zipf.
+std::vector<JoinTuple> GenerateHotKeyRelation(uint64_t count,
+                                              uint64_t key_domain,
+                                              uint64_t hot_keys,
+                                              double hot_fraction,
+                                              uint64_t seed);
+
 /// One YCSB-style KV request (paper section 6.3.2: 64-byte requests, 95%
 /// reads / 5% writes, read-dominated workload B).
 struct KvRequest {

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "core/deadline.h"
+#include "core/endpoint/backpressure.h"
 
 namespace dfi {
 namespace {
@@ -69,6 +70,18 @@ void ChannelShared::Poison(const Status& cause) {
   }
   sync_.Notify();
   if (target_gate_ != nullptr) target_gate_->Notify();
+  if (steal_wake_ != nullptr) steal_wake_->Notify();
+}
+
+void ChannelShared::AnnounceDelivered() {
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  if (load_board_ != nullptr) load_board_->OnDelivered(load_target_);
+  if (steal_wake_ != nullptr) steal_wake_->Notify();
+}
+
+void ChannelShared::AnnounceConsumed() {
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+  if (load_board_ != nullptr) load_board_->OnConsumed(load_target_);
 }
 
 Status ChannelShared::poison_status() const {
@@ -233,6 +246,9 @@ void ChannelSource::Abort(const Status& cause) {
   shared_->sync().Notify();
   if (ReadyGate* gate = shared_->target_gate(); gate != nullptr) {
     gate->Notify();
+  }
+  if (ReadyGate* wake = shared_->steal_wake(); wake != nullptr) {
+    wake->Notify();
   }
 }
 
@@ -456,6 +472,7 @@ Status ChannelSource::TransmitSegment(const uint8_t* payload, uint32_t fill,
     // of scanning all of its rings.
     gate->Enqueue(shared_->source_index());
   }
+  shared_->AnnounceDelivered();
 
   if (latency) {
     ++sent_tuples_;
@@ -486,7 +503,13 @@ ChannelTargetCursor::ChannelTargetCursor(ChannelShared* shared,
     : shared_(shared), clock_(clock) {}
 
 bool ChannelTargetCursor::TryConsume(SegmentView* view) {
-  Release();
+  return TryConsume(view, clock_);
+}
+
+void ChannelTargetCursor::Release() { Release(clock_); }
+
+bool ChannelTargetCursor::TryConsume(SegmentView* view, VirtualClock* clock) {
+  Release(clock);
   if (exhausted_) return false;
   const SegmentRing& ring = shared_->ring();
   const uint32_t idx = static_cast<uint32_t>(
@@ -507,12 +530,12 @@ bool ChannelTargetCursor::TryConsume(SegmentView* view) {
   view->source_index = footer->source_index;
   view->end_of_flow = (flags & kFlagEndOfFlow) != 0;
   view->arrival = footer->arrival_sim_time;
-  clock_->AdvanceTo(footer->arrival_sim_time);
+  clock->AdvanceTo(footer->arrival_sim_time);
   holding_ = true;
   return true;
 }
 
-void ChannelTargetCursor::Release() {
+void ChannelTargetCursor::Release(VirtualClock* clock) {
   if (!holding_) return;
   const SegmentRing& ring = shared_->ring();
   const uint32_t idx = static_cast<uint32_t>(
@@ -520,13 +543,14 @@ void ChannelTargetCursor::Release() {
   SegmentFooter* footer = ring.footer(idx);
   const bool end = footer->end_of_flow();
   footer->fill_bytes = 0;
-  footer->arrival_sim_time = clock_->now();
+  footer->arrival_sim_time = clock->now();
   ring.StoreFlags(idx, kFlagWritable);
   if (shared_->options().optimization == FlowOptimization::kLatency) {
-    shared_->slot_free_time(idx).store(clock_->now(),
+    shared_->slot_free_time(idx).store(clock->now(),
                                        std::memory_order_release);
     shared_->IncrementConsumed();
   }
+  shared_->AnnounceConsumed();
   shared_->sync().Notify();
   ++consume_seq_;
   holding_ = false;

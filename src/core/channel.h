@@ -33,7 +33,13 @@ struct SegmentView {
   uint16_t source_index = 0;
   bool end_of_flow = false;
   SimTime arrival = 0;
+  /// Target column (matrix target index) the segment was addressed to. With
+  /// work stealing the consuming sink thread may differ from the column
+  /// owner; this field always names the column.
+  uint16_t target_column = 0;
 };
+
+class TargetLoadBoard;
 
 /// State shared between the two ends of one private source->target channel.
 /// Created at flow initialization; in a real deployment its coordinates
@@ -68,6 +74,35 @@ class ChannelShared {
   /// rings" wakes when any channel delivers and knows *which* one did.
   void set_target_gate(ReadyGate* gate) { target_gate_ = gate; }
   ReadyGate* target_gate() const { return target_gate_; }
+
+  /// Optional queue-depth board slot: deliveries / releases on this channel
+  /// bump the depth of target column `target_index` on `board`. Advisory
+  /// (see backpressure.h); null when the matrix carries no board.
+  void set_load_board(TargetLoadBoard* board, uint32_t target_index) {
+    load_board_ = board;
+    load_target_ = target_index;
+  }
+  TargetLoadBoard* load_board() const { return load_board_; }
+  uint32_t load_target() const { return load_target_; }
+
+  /// Optional extra wakeup for a same-node work-stealing sink group: each
+  /// delivery (and teardown) bumps this gate's version in addition to the
+  /// owning target's gate, so idle sibling sinks wake up to steal.
+  void set_steal_wake(ReadyGate* wake) { steal_wake_ = wake; }
+  ReadyGate* steal_wake() const { return steal_wake_; }
+
+  /// Delivery/consume announcements shared by both channel halves: update
+  /// the load board and (on delivery) kick the steal group's wakeup.
+  void AnnounceDelivered();
+  void AnnounceConsumed();
+
+  /// Segments delivered into this channel's ring and not yet consumed.
+  /// Approaches segments_per_ring only when the consumer side stalls long
+  /// enough for the producer to fill the ring — the signal a deferring
+  /// sink uses to tell "deep backlog" from "producer about to block".
+  uint32_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
 
   /// Latency-mode credit state (paper section 5.3). The credit counter
   /// (number of tuples consumed by the target) lives in its own registered
@@ -113,6 +148,10 @@ class ChannelShared {
   SegmentRing ring_;
   RingSync sync_;
   ReadyGate* target_gate_ = nullptr;
+  TargetLoadBoard* load_board_ = nullptr;
+  uint32_t load_target_ = 0;
+  ReadyGate* steal_wake_ = nullptr;
+  std::atomic<uint32_t> inflight_{0};
   std::unique_ptr<std::atomic<SimTime>[]> slot_free_time_;
   std::atomic<bool> poisoned_{false};
   mutable std::mutex poison_mu_;
@@ -241,6 +280,13 @@ class ChannelTargetCursor {
   /// to writable (paper: "sets the state to writable on subsequent consume
   /// calls"). No-op if nothing is held.
   void Release();
+
+  /// Work-stealing variants: same protocol, but arrival/consume time is
+  /// charged against the *consuming sink's* clock rather than the clock the
+  /// cursor was constructed with — a stealing sibling pays for what it
+  /// eats. The caller (the steal column) serializes access to the cursor.
+  bool TryConsume(SegmentView* view, VirtualClock* clock);
+  void Release(VirtualClock* clock);
 
   /// True once the end-of-flow segment has been consumed and released.
   bool exhausted() const { return exhausted_; }

@@ -45,6 +45,14 @@ Status DfiRuntime::InitShuffleFlow(ShuffleFlowSpec spec) {
   if (spec.shuffle_key_index >= spec.schema.num_fields()) {
     return Status::InvalidArgument("shuffle key index out of range");
   }
+  if (spec.options.adaptive.enabled && spec.routing.set() &&
+      spec.routing.kind() != RoutingSpec::Kind::kKeyHash) {
+    // Adaptive routing re-splits around the key-hash home function; radix
+    // and generic routings carry no geometry it could wrap.
+    return Status::InvalidArgument(
+        "flow '" + spec.name +
+        "': adaptive shuffle requires key-hash (or default) routing");
+  }
   const std::string name = spec.name;
   auto state = std::make_shared<ShuffleFlowState>(std::move(spec),
                                                   rdma_.get());

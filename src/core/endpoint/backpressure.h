@@ -1,0 +1,81 @@
+#ifndef DFI_CORE_ENDPOINT_BACKPRESSURE_H_
+#define DFI_CORE_ENDPOINT_BACKPRESSURE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/logging.h"
+
+namespace dfi {
+
+/// Per-target queue-depth signal for a channel matrix: one slot per target
+/// counting segments delivered to the target's rings but not yet released
+/// by a consumer, plus a hysteresis "saturated" bit (trip at >= high, clear
+/// at <= low) so a target hovering around one threshold does not flap.
+///
+/// Producers bump a slot from ChannelSource::TransmitSegment (right where
+/// the ReadyGate entry is enqueued); consumers decrement it when a segment
+/// is released back to writable. Both sides touch a single relaxed atomic —
+/// the signal is advisory. Nothing in the transport *acts* on it unless the
+/// flow opted into `AdaptiveShuffleOptions::react_to_backpressure`; reading
+/// host-schedule-dependent depths for routing decisions is what breaks
+/// bit-determinism, so the default static path only ever writes the slots.
+class TargetLoadBoard {
+ public:
+  TargetLoadBoard(uint32_t num_targets, uint32_t high, uint32_t low)
+      : num_targets_(num_targets),
+        high_(high),
+        low_(low),
+        slots_(std::make_unique<Slot[]>(num_targets)) {
+    DFI_CHECK_GT(high, low);
+  }
+
+  uint32_t num_targets() const { return num_targets_; }
+
+  /// A segment became consumable in `target`'s column.
+  void OnDelivered(uint32_t target) {
+    Slot& slot = slots_[target];
+    const uint32_t depth =
+        slot.depth.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (depth >= high_) {
+      slot.saturated.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  /// A segment from `target`'s column was released back to writable.
+  void OnConsumed(uint32_t target) {
+    Slot& slot = slots_[target];
+    const uint32_t depth =
+        slot.depth.fetch_sub(1, std::memory_order_relaxed) - 1;
+    if (depth <= low_) {
+      slot.saturated.store(false, std::memory_order_relaxed);
+    }
+  }
+
+  /// Delivered-but-unreleased segments queued at `target`.
+  uint32_t depth(uint32_t target) const {
+    return slots_[target].depth.load(std::memory_order_relaxed);
+  }
+
+  /// Hysteresis saturation bit: set once depth reaches `high`, cleared only
+  /// once it falls back to `low`.
+  bool saturated(uint32_t target) const {
+    return slots_[target].saturated.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<uint32_t> depth{0};
+    std::atomic<bool> saturated{false};
+  };
+
+  const uint32_t num_targets_;
+  const uint32_t high_;
+  const uint32_t low_;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace dfi
+
+#endif  // DFI_CORE_ENDPOINT_BACKPRESSURE_H_

@@ -14,6 +14,11 @@ ChannelMatrix::ChannelMatrix(rdma::RdmaEnv* env, const FlowOptions& options,
   DFI_CHECK_GT(num_sources_, 0u);
   DFI_CHECK_GT(num_targets_, 0u);
   target_gates_ = std::make_unique<ReadyGate[]>(num_targets_);
+  if (options_.adaptive.enabled) {
+    load_board_ = std::make_unique<TargetLoadBoard>(
+        num_targets_, options_.adaptive.backpressure_high,
+        options_.adaptive.backpressure_low);
+  }
   channels_.resize(static_cast<size_t>(num_sources_) * num_targets_);
   for (uint32_t s = 0; s < num_sources_; ++s) {
     for (uint32_t t = 0; t < num_targets_; ++t) {
@@ -21,6 +26,9 @@ ChannelMatrix::ChannelMatrix(rdma::RdmaEnv* env, const FlowOptions& options,
           env->context(target_nodes[t]), options_, tuple_size_,
           static_cast<uint16_t>(s));
       channel->set_target_gate(&target_gates_[t]);
+      if (load_board_ != nullptr) {
+        channel->set_load_board(load_board_.get(), t);
+      }
       channels_[static_cast<size_t>(s) * num_targets_ + t] =
           std::move(channel);
     }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/channel.h"
+#include "core/endpoint/backpressure.h"
 #include "core/flow_options.h"
 #include "rdma/rdma_env.h"
 
@@ -42,6 +43,11 @@ class ChannelMatrix {
     return &target_gates_[target];
   }
 
+  /// Per-target queue-depth board (null unless the flow opted into
+  /// adaptive shuffling — the static path never allocates or touches it,
+  /// keeping its per-segment work digit-identical).
+  TargetLoadBoard* load_board() const { return load_board_.get(); }
+
   /// Tears the whole matrix down: poison wakes both halves of every channel
   /// (sync + target gate), so blocked sources and targets observe the
   /// teardown promptly.
@@ -59,6 +65,7 @@ class ChannelMatrix {
   uint32_t num_targets_ = 0;
   std::vector<std::unique_ptr<ChannelShared>> channels_;
   std::unique_ptr<ReadyGate[]> target_gates_;
+  std::unique_ptr<TargetLoadBoard> load_board_;
 };
 
 }  // namespace dfi

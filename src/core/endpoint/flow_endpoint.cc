@@ -45,6 +45,31 @@ Status FlowEndpoint::PushTo(const void* tuple, uint32_t target_index) {
   return channels_[target_index]->Push(tuple, tuple_size_);
 }
 
+Status FlowEndpoint::PushAdaptive(const void* tuple,
+                                  AdaptivePartitioner* router) {
+  const AdaptivePartitioner::Decision d =
+      router->Route(static_cast<const uint8_t*>(tuple));
+  if (d.flush_first >= 0) {
+    DFI_RETURN_IF_ERROR(
+        channels_[static_cast<uint32_t>(d.flush_first)]->Flush());
+  }
+  if (d.target >= num_targets()) {
+    return Status::OutOfRange("adaptive routing returned target " +
+                              std::to_string(d.target) + " of " +
+                              std::to_string(num_targets()));
+  }
+  return channels_[d.target]->Push(tuple, tuple_size_);
+}
+
+Status FlowEndpoint::PushBatchAdaptive(const void* tuples, size_t count,
+                                       AdaptivePartitioner* router) {
+  const uint8_t* base = static_cast<const uint8_t*>(tuples);
+  for (size_t i = 0; i < count; ++i) {
+    DFI_RETURN_IF_ERROR(PushAdaptive(base + i * tuple_size_, router));
+  }
+  return Status::OK();
+}
+
 Status FlowEndpoint::AppendRun(uint32_t target, const uint8_t* run,
                                size_t n) {
   ChannelSource& ch = *channels_[target];

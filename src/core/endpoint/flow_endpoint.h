@@ -40,6 +40,20 @@ class FlowEndpoint {
   /// Pushes with an explicit target (paper section 4.2.1, option (3)).
   Status PushTo(const void* tuple, uint32_t target_index);
 
+  /// Pushes one packed tuple routed by an AdaptivePartitioner (opt-in skew
+  /// adaptation). Honors the decision's hand-off flush: when a hot key was
+  /// re-homed under ordered_handoff, the previous owner's channel is
+  /// flushed before the tuple lands on the new owner, so per-(source, key)
+  /// segments stay contiguous per target in transmit order.
+  Status PushAdaptive(const void* tuple, AdaptivePartitioner* router);
+
+  /// Batched adaptive push. Adaptive routing is inherently per-tuple (the
+  /// frequency sketch advances with every tuple), so this simply sweeps
+  /// PushAdaptive over the run — same per-target sequences as per-tuple
+  /// pushes.
+  Status PushBatchAdaptive(const void* tuples, size_t count,
+                           AdaptivePartitioner* router);
+
   /// Batched push: partitions a run of `count` densely packed tuples and
   /// scatters them directly into the per-target staging segments in one
   /// fused sweep over the batch (zero-copy reservations, see

@@ -127,6 +127,208 @@ uint32_t Partitioner::Route(const uint8_t* tuple) {
 }
 
 // ---------------------------------------------------------------------------
+// AdaptivePartitioner
+// ---------------------------------------------------------------------------
+
+AdaptivePartitioner::AdaptivePartitioner(
+    const Schema* schema, size_t key_field_index,
+    const std::vector<net::NodeId>& target_nodes,
+    const AdaptiveShuffleOptions& opts, const TargetLoadBoard* board)
+    : key_offset_(schema->offset(key_field_index)),
+      key_size_(schema->field_size(key_field_index)),
+      num_targets_(static_cast<uint32_t>(target_nodes.size())),
+      opts_(opts),
+      board_(board),
+      mod_(num_targets_) {
+  DFI_CHECK_GT(num_targets_, 0u);
+  DFI_CHECK_GT(opts_.epoch_tuples, 0u);
+  // Sibling sets: for each target, the targets on the same node, home
+  // first, matrix order otherwise. Keys are only ever re-split within
+  // their home node, so node-level key placement is untouched.
+  siblings_.resize(num_targets_);
+  for (uint32_t t = 0; t < num_targets_; ++t) {
+    siblings_[t].push_back(t);
+    for (uint32_t u = 0; u < num_targets_; ++u) {
+      if (u != t && target_nodes[u] == target_nodes[t]) {
+        siblings_[t].push_back(u);
+      }
+    }
+  }
+}
+
+void AdaptivePartitioner::SketchAdd(uint64_t key) {
+  // Misra-Gries: any key with epoch count > epoch_tuples / sketch_counters
+  // survives with count no more than that margin below its true count.
+  auto it = sketch_.find(key);
+  if (it != sketch_.end()) {
+    ++it->second;
+    return;
+  }
+  if (sketch_.size() < opts_.sketch_counters) {
+    sketch_.emplace(key, 1);
+    return;
+  }
+  for (auto mg = sketch_.begin(); mg != sketch_.end();) {
+    if (--mg->second == 0) {
+      mg = sketch_.erase(mg);
+    } else {
+      ++mg;
+    }
+  }
+}
+
+void AdaptivePartitioner::EndEpoch() {
+  epoch_fill_ = 0;
+  ++epoch_;
+  const double threshold =
+      opts_.hot_factor * opts_.epoch_tuples / num_targets_;
+
+  // Demote cooled-off keys (half the promotion threshold: hysteresis), and
+  // in ordered mode rotate the single owner of keys that stay hot so one
+  // hot key's load still spreads across the node's siblings over time.
+  for (auto it = hot_.begin(); it != hot_.end();) {
+    HotKey& hk = it->second;
+    const auto seen = sketch_.find(it->first);
+    const double count =
+        seen == sketch_.end() ? 0.0 : static_cast<double>(seen->second);
+    if (count < threshold / 2) {
+      ++demotions_;
+      if (opts_.ordered_handoff) {
+        // Keep the entry around for one more Route(): it goes home and
+        // carries the final hand-off flush of the last owner's channel.
+        hk.demoted = true;
+        hk.pending_flush = static_cast<int32_t>(hk.spread[hk.owner]);
+        ++it;
+      } else {
+        it = hot_.erase(it);
+      }
+    } else {
+      if (opts_.ordered_handoff && !hk.demoted) {
+        const uint32_t next = static_cast<uint32_t>(
+            HashU64(it->first ^ epoch_) % hk.spread.size());
+        if (next != hk.owner) {
+          hk.pending_flush = static_cast<int32_t>(hk.spread[hk.owner]);
+          hk.owner = next;
+        }
+      }
+      ++it;
+    }
+  }
+
+  // Promote this epoch's heavy hitters, hottest first (key ascending as a
+  // deterministic tie-break), bounded by max_hot_keys.
+  std::vector<std::pair<uint64_t, uint64_t>> candidates;  // (count, key)
+  for (const auto& [key, count] : sketch_) {
+    if (static_cast<double>(count) >= threshold && hot_.count(key) == 0) {
+      candidates.emplace_back(count, key);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  for (const auto& [count, key] : candidates) {
+    if (hot_.size() >= opts_.max_hot_keys) break;
+    const uint32_t home = HomeTarget(key);
+    if (siblings_[home].size() < 2) continue;  // nothing to re-split over
+    HotKey hk;
+    hk.spread = siblings_[home];
+    hk.cursor =
+        static_cast<uint32_t>(HashU64(key) % hk.spread.size());
+    if (opts_.ordered_handoff) {
+      hk.owner = static_cast<uint32_t>(HashU64(key ^ epoch_) %
+                                       hk.spread.size());
+      // Re-homing away from home: the home channel may hold staged tuples
+      // of this key, so the first re-routed push flushes it first.
+      if (hk.owner != 0) hk.pending_flush = static_cast<int32_t>(home);
+    }
+    ++promotions_;
+    hot_.emplace(key, std::move(hk));
+  }
+  sketch_.clear();
+}
+
+uint32_t AdaptivePartitioner::RouteHot(HotKey& hot, int32_t* flush_first) {
+  if (hot.pending_flush >= 0) {
+    *flush_first = hot.pending_flush;
+    hot.pending_flush = -1;
+  }
+  const uint32_t home = hot.spread[0];
+  if (hot.demoted) return home;  // caller erases the entry
+  uint32_t target;
+  if (opts_.ordered_handoff) {
+    target = hot.spread[hot.owner];
+  } else {
+    target = hot.spread[hot.cursor];
+    hot.cursor = (hot.cursor + 1) % static_cast<uint32_t>(hot.spread.size());
+    if (board_ != nullptr && opts_.react_to_backpressure &&
+        board_->saturated(target)) {
+      uint32_t best_depth = UINT32_MAX;
+      uint32_t best = target;
+      for (uint32_t sibling : hot.spread) {
+        if (board_->saturated(sibling)) continue;
+        const uint32_t depth = board_->depth(sibling);
+        if (depth < best_depth) {
+          best_depth = depth;
+          best = sibling;
+        }
+      }
+      if (best != target) {
+        target = best;
+        ++diverted_tuples_;
+      }
+    }
+  }
+  if (target != home) ++resplit_tuples_;
+  return target;
+}
+
+AdaptivePartitioner::Decision AdaptivePartitioner::Route(
+    const uint8_t* tuple) {
+  const uint64_t key = ReadKeyBytes(tuple + key_offset_, key_size_);
+  SketchAdd(key);
+  if (++epoch_fill_ >= opts_.epoch_tuples) EndEpoch();
+
+  Decision d;
+  if (!hot_.empty()) {
+    auto it = hot_.find(key);
+    if (it != hot_.end()) {
+      d.target = RouteHot(it->second, &d.flush_first);
+      if (it->second.demoted) hot_.erase(it);
+      return d;
+    }
+  }
+  const uint32_t home = HomeTarget(key);
+  d.target = home;
+  // Opt-in straggler relief: a cold key bound for a saturated target is
+  // diverted to the least-loaded unsaturated sibling on the same node.
+  // Never taken in ordered mode (it would break per-key order) and never
+  // without the board (static-determinism default).
+  if (board_ != nullptr && opts_.react_to_backpressure &&
+      !opts_.ordered_handoff && board_->saturated(home)) {
+    const std::vector<uint32_t>& sibs = siblings_[home];
+    if (sibs.size() > 1) {
+      uint32_t best_depth = UINT32_MAX;
+      uint32_t best = home;
+      for (uint32_t sibling : sibs) {
+        if (board_->saturated(sibling)) continue;
+        const uint32_t depth = board_->depth(sibling);
+        if (depth < best_depth) {
+          best_depth = depth;
+          best = sibling;
+        }
+      }
+      if (best != home) {
+        d.target = best;
+        ++diverted_tuples_;
+      }
+    }
+  }
+  return d;
+}
+
+// ---------------------------------------------------------------------------
 // Aggregator
 // ---------------------------------------------------------------------------
 

@@ -9,9 +9,11 @@
 
 #include "common/hash.h"
 #include "common/sim_time.h"
+#include "core/endpoint/backpressure.h"
 #include "core/flow_options.h"
 #include "core/routing.h"
 #include "core/schema.h"
+#include "net/fault_plan.h"
 #include "net/sim_config.h"
 
 namespace dfi {
@@ -80,6 +82,116 @@ class Partitioner {
   FastDivisor mod_;
   RoutingFn fn_;
   uint64_t rr_ = 0;  // round-robin cursor
+};
+
+// ---------------------------------------------------------------------------
+// AdaptivePartitioner
+// ---------------------------------------------------------------------------
+
+/// Skew-adaptive key-hash partitioner (opt-in via
+/// AdaptiveShuffleOptions::enabled). Wraps the static key-hash geometry
+/// with a small per-source Misra-Gries frequency sketch evaluated at fixed
+/// tuple-count epochs: keys whose epoch share exceeds
+/// hot_factor / num_targets are promoted to a bounded hot set and re-split
+/// across the sibling target threads on their home target's node — keys
+/// never leave their home *node* (node-level co-location such as radix-join
+/// partition assignment survives), only the thread-level assignment becomes
+/// dynamic. Demotion at half the promotion threshold gives hysteresis.
+///
+/// Two spreading modes:
+///  - unordered (default): each hot tuple round-robins over the home node's
+///    sibling targets via a deterministic per-key cursor.
+///  - ordered_handoff: a hot key has exactly one owner at a time, rotated
+///    at epoch boundaries; Route() reports the previous owner in
+///    `flush_first` so the endpoint flushes that channel *before* pushing
+///    to the new owner. Segments of one (source, key) pair then arrive in
+///    disjoint, contiguous intervals per target — a downstream Sequencer
+///    ordering per (source, key) observes no inversions.
+///
+/// Every routing decision is a pure function of the source's own input
+/// prefix (sketch state + epoch counter), so adaptive routing is
+/// bit-deterministic. The exception is opt-in backpressure reaction
+/// (react_to_backpressure): when the home target's queue-depth slot is
+/// saturated, tuples divert to the least-loaded unsaturated sibling —
+/// host-schedule-dependent by design, never enabled by default.
+class AdaptivePartitioner {
+ public:
+  /// `target_nodes[t]` is the node hosting target t (defines the sibling
+  /// sets); `board` may be null (no backpressure reaction regardless of
+  /// the option).
+  AdaptivePartitioner(const Schema* schema, size_t key_field_index,
+                      const std::vector<net::NodeId>& target_nodes,
+                      const AdaptiveShuffleOptions& opts,
+                      const TargetLoadBoard* board);
+
+  AdaptivePartitioner(const AdaptivePartitioner&) = delete;
+  AdaptivePartitioner& operator=(const AdaptivePartitioner&) = delete;
+
+  struct Decision {
+    uint32_t target = 0;
+    /// Channel to flush before pushing (ordered hand-off re-homed the key
+    /// away from this target); -1 when no hand-off happened.
+    int32_t flush_first = -1;
+  };
+
+  /// Routes one packed tuple and advances the sketch/epoch state.
+  Decision Route(const uint8_t* tuple);
+
+  uint32_t num_targets() const { return num_targets_; }
+  /// The static key-hash target of `key` (where the non-adaptive
+  /// partitioner would send it).
+  uint32_t HomeTarget(uint64_t key) const {
+    return static_cast<uint32_t>(mod_.Mod(HashU64(key)));
+  }
+  bool IsHot(uint64_t key) const { return hot_.count(key) != 0; }
+
+  // Observability for tests and benches.
+  uint64_t promotions() const { return promotions_; }
+  uint64_t demotions() const { return demotions_; }
+  /// Tuples routed to a target other than their static home.
+  uint64_t resplit_tuples() const { return resplit_tuples_; }
+  uint64_t diverted_tuples() const { return diverted_tuples_; }
+
+ private:
+  struct HotKey {
+    /// Sibling targets (home node's target threads, home first).
+    std::vector<uint32_t> spread;
+    /// Unordered mode: deterministic round-robin cursor over `spread`.
+    uint32_t cursor = 0;
+    /// Ordered mode: current single owner (index into `spread`).
+    uint32_t owner = 0;
+    /// Ordered mode: channel whose staged partial segment must be flushed
+    /// before this key's next push (the previous owner after a re-homing);
+    /// -1 when none. Surfaced once via Decision::flush_first.
+    int32_t pending_flush = -1;
+    /// Ordered mode: key was demoted at the last epoch boundary; its next
+    /// Route() goes home (with the final hand-off flush) and erases it.
+    bool demoted = false;
+  };
+
+  void SketchAdd(uint64_t key);
+  /// Epoch boundary: promote/demote against the sketch, then reset it.
+  void EndEpoch();
+  uint32_t RouteHot(HotKey& hot, int32_t* flush_first);
+
+  const size_t key_offset_;
+  const size_t key_size_;
+  const uint32_t num_targets_;
+  const AdaptiveShuffleOptions opts_;
+  const TargetLoadBoard* const board_;  // null: no backpressure reaction
+  FastDivisor mod_;
+  /// target -> sibling targets on the same node (includes itself, home
+  /// first, matrix order otherwise).
+  std::vector<std::vector<uint32_t>> siblings_;
+  /// Misra-Gries summary of the current epoch (<= sketch_counters keys).
+  std::unordered_map<uint64_t, uint64_t> sketch_;
+  std::unordered_map<uint64_t, HotKey> hot_;
+  uint64_t epoch_ = 0;
+  uint32_t epoch_fill_ = 0;
+  uint64_t promotions_ = 0;
+  uint64_t demotions_ = 0;
+  uint64_t resplit_tuples_ = 0;
+  uint64_t diverted_tuples_ = 0;
 };
 
 // ---------------------------------------------------------------------------

@@ -24,6 +24,58 @@ enum class AggFunc : uint8_t {
   kMax,
 };
 
+/// Opt-in skew adaptation for shuffle flows (ROADMAP item 4; Rödiger-style
+/// network-aware skew handling). Default-disabled: the static partitioner
+/// path stays digit-identical when `enabled` is false.
+struct AdaptiveShuffleOptions {
+  /// Master switch. When set, ShuffleSource routes through an
+  /// AdaptivePartitioner (hot-key detection + re-splitting) and
+  /// ShuffleTarget sinks on the same node form a work-stealing group.
+  bool enabled = false;
+
+  /// Counters in the per-source Misra-Gries frequency sketch. Bounds the
+  /// number of distinct keys tracked per epoch; 64 counters resolve any
+  /// key with > ~1.6% share of an epoch.
+  uint32_t sketch_counters = 64;
+
+  /// Tuples per detection epoch. At every epoch boundary the sketch is
+  /// evaluated: keys promoted to / demoted from the hot set, sketch reset.
+  uint32_t epoch_tuples = 4096;
+
+  /// A key is hot when its epoch share exceeds hot_factor / num_targets
+  /// (i.e. it alone carries hot_factor times a fair target's share).
+  /// Demotion uses half this threshold for hysteresis.
+  double hot_factor = 4.0;
+
+  /// Upper bound on simultaneously hot keys per source.
+  uint32_t max_hot_keys = 8;
+
+  /// Sequencer-compatible hand-off: hot keys are re-homed (one owner at a
+  /// time, old channel flushed before the switch) instead of round-robin
+  /// re-split, so per-(source, key) order is preserved end to end. Work
+  /// stealing is disabled in this mode — a stolen segment would reorder
+  /// app-level processing across sink threads.
+  bool ordered_handoff = false;
+
+  /// Target-side work stealing between sink threads on the same node.
+  /// Per-channel consumption stays serialized (FIFO within a channel), so
+  /// content and order per channel remain deterministic; which sink thread
+  /// consumed a segment is scheduling-dependent.
+  bool work_stealing = true;
+
+  /// React to per-target backpressure (queue-depth saturation) by
+  /// diverting traffic from a saturated target to same-node siblings.
+  /// Default off: queue depths are host-schedule-dependent, so reacting to
+  /// them trades bit-determinism for straggler resilience.
+  bool react_to_backpressure = false;
+
+  /// Saturation hysteresis thresholds on the per-target queue depth
+  /// (delivered-but-unconsumed segments summed over the target's channels):
+  /// trip at >= high, clear at <= low.
+  uint32_t backpressure_high = 24;
+  uint32_t backpressure_low = 8;
+};
+
 /// Declarative per-flow options (paper Table 1 "flow options" plus the
 /// tuning parameters of section 5).
 struct FlowOptions {
@@ -77,6 +129,9 @@ struct FlowOptions {
   /// timestamps, leaving the fault-free performance model untouched.
   SimTime backoff_initial_ns = 2 * kMicrosecond;
   SimTime backoff_cap_ns = 1 * kMillisecond;
+
+  /// Skew adaptation (shuffle flows only; ignored elsewhere).
+  AdaptiveShuffleOptions adaptive;
 };
 
 }  // namespace dfi

@@ -24,6 +24,41 @@ ShuffleFlowState::ShuffleFlowState(ShuffleFlowSpec spec, rdma::RdmaEnv* env)
       env_, spec_.options,
       static_cast<uint32_t>(spec_.schema.tuple_size()), num_sources(),
       target_nodes_);
+
+  // Work-stealing plane: shared per-target columns grouped per node, plus
+  // the group wakeups every delivery bumps. Disabled under ordered_handoff
+  // (a stolen segment would reorder app-level per-key processing across
+  // sink threads).
+  const AdaptiveShuffleOptions& adaptive = spec_.options.adaptive;
+  if (adaptive.enabled && adaptive.work_stealing &&
+      !adaptive.ordered_handoff) {
+    steal_columns_.reserve(num_targets());
+    group_of_target_.resize(num_targets());
+    std::vector<net::NodeId> group_nodes;
+    for (uint32_t t = 0; t < num_targets(); ++t) {
+      steal_columns_.push_back(
+          std::make_unique<StealColumn>(&matrix_, t));
+      SinkStealGroup* group = nullptr;
+      for (size_t g = 0; g < group_nodes.size(); ++g) {
+        if (group_nodes[g] == target_nodes_[t]) {
+          group = steal_groups_[g].get();
+          break;
+        }
+      }
+      if (group == nullptr) {
+        steal_groups_.push_back(std::make_unique<SinkStealGroup>());
+        group_nodes.push_back(target_nodes_[t]);
+        group = steal_groups_.back().get();
+      }
+      group->AddColumn(steal_columns_.back().get());
+      group_of_target_[t] = group;
+    }
+    for (uint32_t s = 0; s < num_sources(); ++s) {
+      for (uint32_t t = 0; t < num_targets(); ++t) {
+        matrix_.channel(s, t)->set_steal_wake(&group_of_target_[t]->wake());
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -40,6 +75,16 @@ ShuffleSource::ShuffleSource(std::shared_ptr<ShuffleFlowState> state,
           : KeyHashRouting(state_->spec().shuffle_key_index);
   partitioner_ = Partitioner::FromRouting(routing, &state_->spec().schema,
                                           state_->num_targets());
+  if (state_->spec().options.adaptive.enabled) {
+    // Adaptive routing wraps the key-hash geometry; InitShuffleFlow
+    // rejects adaptive specs with a non-key-hash routing override.
+    DFI_CHECK(routing.kind() == RoutingSpec::Kind::kKeyHash)
+        << "adaptive shuffle requires key-hash routing";
+    adaptive_.emplace(&state_->spec().schema, routing.key_field_index(),
+                      state_->target_nodes(),
+                      state_->spec().options.adaptive,
+                      state_->matrix()->load_board());
+  }
   endpoint_.emplace(
       state_->matrix(), source_index_,
       state_->env()->context(state_->source_node(source_index_)), &clock_);
@@ -53,9 +98,16 @@ ShuffleTarget::ShuffleTarget(std::shared_ptr<ShuffleFlowState> state,
                              uint32_t target_index)
     : state_(std::move(state)), target_index_(target_index) {
   DFI_CHECK_LT(target_index_, state_->num_targets());
-  sink_.emplace(state_->matrix(), target_index_, &state_->spec().schema,
-                &state_->env()->config(), &clock_, "shuffle",
-                state_->source_nodes());
+  if (StealColumn* column = state_->steal_column(target_index_);
+      column != nullptr) {
+    sink_.emplace(column, state_->steal_group_of(target_index_),
+                  &state_->spec().schema, &state_->env()->config(), &clock_,
+                  "shuffle", state_->source_nodes());
+  } else {
+    sink_.emplace(state_->matrix(), target_index_, &state_->spec().schema,
+                  &state_->env()->config(), &clock_, "shuffle",
+                  state_->source_nodes());
+  }
 }
 
 }  // namespace dfi

@@ -68,6 +68,19 @@ class ShuffleFlowState : public FlowStateBase {
   const std::vector<net::NodeId>& source_nodes() const {
     return source_nodes_;
   }
+  const std::vector<net::NodeId>& target_nodes() const {
+    return target_nodes_;
+  }
+
+  /// Work-stealing plane (adaptive shuffles with work_stealing on and
+  /// ordered_handoff off): one shared column per target, grouped per node.
+  /// Null when the flow runs the exclusive-sink path.
+  StealColumn* steal_column(uint32_t target) const {
+    return steal_columns_.empty() ? nullptr : steal_columns_[target].get();
+  }
+  SinkStealGroup* steal_group_of(uint32_t target) const {
+    return steal_columns_.empty() ? nullptr : group_of_target_[target];
+  }
 
   /// Registered bytes of all rings of this flow on `node` (memory
   /// accounting, paper section 6.1.4; excludes source-side staging which is
@@ -87,6 +100,10 @@ class ShuffleFlowState : public FlowStateBase {
   std::vector<net::NodeId> source_nodes_;
   std::vector<net::NodeId> target_nodes_;
   ChannelMatrix matrix_;
+  // Work-stealing plane; empty unless enabled (see steal_column()).
+  std::vector<std::unique_ptr<StealColumn>> steal_columns_;
+  std::vector<std::unique_ptr<SinkStealGroup>> steal_groups_;  // per node
+  std::vector<SinkStealGroup*> group_of_target_;
 };
 
 /// Source handle of a shuffle flow, bound to one worker thread: a
@@ -102,8 +119,13 @@ class ShuffleSource {
   ShuffleSource(const ShuffleSource&) = delete;
   ShuffleSource& operator=(const ShuffleSource&) = delete;
 
-  /// Pushes one packed tuple, routed by the flow's key / routing function.
+  /// Pushes one packed tuple, routed by the flow's key / routing function
+  /// (or its AdaptivePartitioner when the flow opted into skew
+  /// adaptation).
   Status Push(const void* tuple) {
+    if (adaptive_.has_value()) {
+      return endpoint_->PushAdaptive(tuple, &*adaptive_);
+    }
     return endpoint_->Push(tuple, &partitioner_);
   }
   Status Push(TupleView tuple) { return Push(tuple.data()); }
@@ -114,6 +136,9 @@ class ShuffleSource {
   /// exactly the same per-target tuple sequences as calling Push on each
   /// tuple in order.
   Status PushBatch(const void* tuples, size_t count) {
+    if (adaptive_.has_value()) {
+      return endpoint_->PushBatchAdaptive(tuples, count, &*adaptive_);
+    }
     return endpoint_->PushBatch(tuples, count, &partitioner_);
   }
 
@@ -138,11 +163,18 @@ class ShuffleSource {
   uint32_t source_index() const { return source_index_; }
   VirtualClock& clock() { return clock_; }
 
+  /// The skew-adaptation policy, when the flow opted in (observability:
+  /// promotions/demotions/re-split counts).
+  const AdaptivePartitioner* adaptive() const {
+    return adaptive_.has_value() ? &*adaptive_ : nullptr;
+  }
+
  private:
   std::shared_ptr<ShuffleFlowState> state_;
   const uint32_t source_index_;
   VirtualClock clock_;
   Partitioner partitioner_;  // resolved routing policy (never kUnset)
+  std::optional<AdaptivePartitioner> adaptive_;  // opt-in skew adaptation
   std::optional<FlowEndpoint> endpoint_;
 };
 
@@ -183,6 +215,10 @@ class ShuffleTarget {
   const Schema& schema() const { return state_->spec().schema; }
   uint32_t target_index() const { return target_index_; }
   VirtualClock& clock() { return clock_; }
+
+  /// Work-stealing mode: segments consumed from same-node siblings'
+  /// columns (0 on the exclusive path).
+  uint64_t stolen_segments() const { return sink_->stolen_segments(); }
 
  private:
   std::shared_ptr<ShuffleFlowState> state_;

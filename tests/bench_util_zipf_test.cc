@@ -1,0 +1,132 @@
+// Statistical and determinism properties of the skewed workload
+// generators behind the adaptive-shuffle benchmarks: the zipfian relation
+// must match the analytic zipf pmf (chi-square), be bit-reproducible per
+// seed, and collapse to the uniform generator exactly at theta = 0 so the
+// static baselines stay digit-identical.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "bench_util/workload.h"
+
+namespace dfi::bench {
+namespace {
+
+bool SameRelation(const std::vector<JoinTuple>& a,
+                  const std::vector<JoinTuple>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].key != b[i].key || a[i].payload != b[i].payload) return false;
+  }
+  return true;
+}
+
+TEST(ZipfRelationTest, ThetaZeroIsExactlyTheUniformGenerator) {
+  // Not "statistically uniform" — byte-identical, so benches that switch
+  // from GenerateUniformRelation to theta=0 zipf reproduce old baselines.
+  for (uint64_t seed : {1u, 7u, 42u}) {
+    auto uniform = GenerateUniformRelation(5000, 1 << 16, seed);
+    auto zipf = GenerateZipfianRelation(5000, 1 << 16, 0.0, seed);
+    EXPECT_TRUE(SameRelation(uniform, zipf)) << "seed " << seed;
+  }
+}
+
+TEST(ZipfRelationTest, DeterministicPerSeed) {
+  auto a = GenerateZipfianRelation(20000, 1 << 20, 0.99, 7);
+  auto b = GenerateZipfianRelation(20000, 1 << 20, 0.99, 7);
+  EXPECT_TRUE(SameRelation(a, b));
+  auto c = GenerateZipfianRelation(20000, 1 << 20, 0.99, 8);
+  EXPECT_FALSE(SameRelation(a, c)) << "different seeds drew the same keys";
+}
+
+TEST(ZipfRelationTest, KeysInDomainAndPayloadsAreTupleIndex) {
+  const uint64_t domain = 257;  // not a power of two
+  auto rel = GenerateZipfianRelation(10000, domain, 1.2, 3);
+  ASSERT_EQ(rel.size(), 10000u);
+  for (uint64_t i = 0; i < rel.size(); ++i) {
+    EXPECT_LT(rel[i].key, domain);
+    // Payload = tuple index keeps duplicate keys distinguishable in the
+    // data-plane multiset checks.
+    EXPECT_EQ(rel[i].payload, i);
+  }
+}
+
+TEST(ZipfRelationTest, PmfMatchesAnalyticZipf) {
+  // Small domain, large sample: compare the empirical distribution to the
+  // analytic zipf pmf p(k) = (1/(k+1)^theta) / zeta_n(theta). The
+  // generator is the YCSB/Gray construction, which draws ranks 0 and 1
+  // exactly but approximates the tail through a continuous power law — a
+  // plain chi-square against the discrete pmf rejects on that systematic
+  // (not sampling) error, so the bounds are: tight on the exact head,
+  // relative-error-bounded on the tail, and a small aggregate
+  // total-variation distance.
+  const uint64_t n = 64;
+  const uint64_t count = 200000;
+  for (double theta : {0.8, 0.99, 1.2}) {
+    for (uint64_t seed : {7u, 42u}) {
+      auto rel = GenerateZipfianRelation(count, n, theta, seed);
+
+      std::vector<uint64_t> observed(n, 0);
+      for (const auto& t : rel) observed[t.key]++;
+
+      double zeta = 0.0;
+      for (uint64_t k = 0; k < n; ++k) zeta += 1.0 / std::pow(k + 1, theta);
+      double tv = 0.0;
+      for (uint64_t k = 0; k < n; ++k) {
+        const double expected = count / std::pow(k + 1, theta) / zeta;
+        const double rel_err = std::abs(observed[k] - expected) / expected;
+        // Sampling noise at this count is < 4% per bucket; the
+        // construction's tail approximation stays within ~15%.
+        EXPECT_LT(rel_err, k < 2 ? 0.03 : 0.20)
+            << "rank " << k << " theta " << theta << " seed " << seed;
+        tv += std::abs(observed[k] - expected);
+      }
+      tv /= 2.0 * count;
+      EXPECT_LT(tv, 0.02) << "total-variation distance, theta " << theta;
+      // And the gross shape: the top rank dominates, the tail does not.
+      EXPECT_GT(observed[0], observed[n - 1] * 5);
+    }
+  }
+}
+
+TEST(ZipfRelationTest, SkewGrowsWithTheta) {
+  const uint64_t n = 1 << 10;
+  const uint64_t count = 100000;
+  uint64_t prev_top = 0;
+  for (double theta : {0.5, 0.8, 0.99, 1.2}) {
+    auto rel = GenerateZipfianRelation(count, n, theta, 7);
+    uint64_t top = 0;
+    for (const auto& t : rel) {
+      if (t.key == 0) top++;
+    }
+    EXPECT_GT(top, prev_top) << "theta " << theta
+                             << " did not concentrate more mass on rank 0";
+    prev_top = top;
+  }
+}
+
+TEST(HotKeyRelationTest, FractionAndPartitionOfDomain) {
+  const uint64_t domain = 1 << 20;
+  const uint64_t hot = 4;
+  const double fraction = 0.5;
+  auto rel = GenerateHotKeyRelation(200000, domain, hot, fraction, 11);
+  uint64_t hot_hits = 0;
+  for (const auto& t : rel) {
+    ASSERT_LT(t.key, domain);
+    if (t.key < hot) hot_hits++;
+  }
+  const double observed = static_cast<double>(hot_hits) / rel.size();
+  EXPECT_NEAR(observed, fraction, 0.01);
+}
+
+TEST(HotKeyRelationTest, DeterministicPerSeed) {
+  auto a = GenerateHotKeyRelation(20000, 1 << 16, 8, 0.3, 5);
+  auto b = GenerateHotKeyRelation(20000, 1 << 16, 8, 0.3, 5);
+  EXPECT_TRUE(SameRelation(a, b));
+}
+
+}  // namespace
+}  // namespace dfi::bench

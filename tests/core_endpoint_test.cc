@@ -268,5 +268,140 @@ TEST_F(EndpointTest, AbortLatchFirstCauseWins) {
   EXPECT_EQ(normalizing.status().code(), StatusCode::kAborted);
 }
 
+// ---------------------------------------------------------------------------
+// Backpressure signal (TargetLoadBoard) and its adaptive-routing reaction
+// ---------------------------------------------------------------------------
+
+TEST(TargetLoadBoardTest, RiseFallThresholdsWithHysteresis) {
+  TargetLoadBoard board(/*num_targets=*/1, /*high=*/4, /*low=*/2);
+  EXPECT_EQ(board.depth(0), 0u);
+  EXPECT_FALSE(board.saturated(0));
+
+  // Below the high-water mark: never saturated.
+  for (int i = 0; i < 3; ++i) board.OnDelivered(0);
+  EXPECT_EQ(board.depth(0), 3u);
+  EXPECT_FALSE(board.saturated(0));
+
+  // Trips exactly at `high`.
+  board.OnDelivered(0);
+  EXPECT_TRUE(board.saturated(0));
+
+  // Hysteresis: stays saturated while depth is above `low`...
+  board.OnConsumed(0);
+  EXPECT_EQ(board.depth(0), 3u);
+  EXPECT_TRUE(board.saturated(0));
+
+  // ...and clears exactly at `low`, so a target hovering around one
+  // threshold cannot flap.
+  board.OnConsumed(0);
+  EXPECT_EQ(board.depth(0), 2u);
+  EXPECT_FALSE(board.saturated(0));
+
+  // Climbing back above `low` (but below `high`) does not re-trip.
+  board.OnDelivered(0);
+  EXPECT_FALSE(board.saturated(0));
+}
+
+TEST(TargetLoadBoardTest, SlotsAreIndependent) {
+  TargetLoadBoard board(/*num_targets=*/3, /*high=*/2, /*low=*/1);
+  board.OnDelivered(1);
+  board.OnDelivered(1);
+  EXPECT_TRUE(board.saturated(1));
+  EXPECT_FALSE(board.saturated(0));
+  EXPECT_FALSE(board.saturated(2));
+  EXPECT_EQ(board.depth(0), 0u);
+  EXPECT_EQ(board.depth(2), 0u);
+}
+
+TEST(AdaptiveBackpressureTest, SaturatedTargetThrottlesOnlyItsOwnSources) {
+  // 2 nodes x 2 target threads: targets {0,1} on node 0, {2,3} on node 1.
+  // Saturating target 0 must divert only the tuples homed at target 0 —
+  // and only to its same-node sibling — while traffic for every other
+  // target routes exactly as the static partitioner would.
+  const Schema schema{{"key", DataType::kUInt64}};
+  const std::vector<net::NodeId> target_nodes{0, 0, 1, 1};
+  AdaptiveShuffleOptions opts;
+  opts.enabled = true;
+  opts.react_to_backpressure = true;
+  opts.backpressure_high = 4;
+  opts.backpressure_low = 2;
+  TargetLoadBoard board(4, opts.backpressure_high, opts.backpressure_low);
+  AdaptivePartitioner part(&schema, 0, target_nodes, opts, &board);
+
+  // One representative cold key per home target.
+  uint64_t key_for[4];
+  for (uint32_t found = 0, k = 0; found != 0xf; ++k) {
+    const uint32_t home = part.HomeTarget(k);
+    if ((found & (1u << home)) == 0) {
+      key_for[home] = k;
+      found |= 1u << home;
+    }
+  }
+
+  auto route = [&](uint64_t key) {
+    return part.Route(reinterpret_cast<const uint8_t*>(&key)).target;
+  };
+
+  // Unsaturated: everything goes to its static home.
+  for (uint32_t t = 0; t < 4; ++t) {
+    EXPECT_EQ(route(key_for[t]), t);
+  }
+
+  // Saturate target 0.
+  for (uint32_t i = 0; i < opts.backpressure_high; ++i) board.OnDelivered(0);
+  ASSERT_TRUE(board.saturated(0));
+
+  // Its traffic diverts to the same-node sibling (target 1)...
+  EXPECT_EQ(route(key_for[0]), 1u);
+  EXPECT_GT(part.diverted_tuples(), 0u);
+  // ...but never across nodes, and other targets' traffic is untouched.
+  const uint64_t diverted_before = part.diverted_tuples();
+  EXPECT_EQ(route(key_for[1]), 1u);
+  EXPECT_EQ(route(key_for[2]), 2u);
+  EXPECT_EQ(route(key_for[3]), 3u);
+  EXPECT_EQ(part.diverted_tuples(), diverted_before);
+
+  // With every sibling of the node saturated there is nowhere better to
+  // go: the tuple stays home rather than leaving the node.
+  for (uint32_t i = 0; i < opts.backpressure_high; ++i) board.OnDelivered(1);
+  ASSERT_TRUE(board.saturated(1));
+  EXPECT_EQ(route(key_for[0]), 0u);
+
+  // Hysteresis end-to-end: draining target 0 to the low-water mark lifts
+  // the diversion.
+  for (uint32_t i = 0; i < opts.backpressure_high; ++i) board.OnConsumed(0);
+  ASSERT_FALSE(board.saturated(0));
+  EXPECT_EQ(route(key_for[0]), 0u);
+}
+
+TEST(AdaptiveBackpressureTest, NoReactionWithoutOptInOrBoard) {
+  // The board is advisory: without react_to_backpressure (or without a
+  // board at all) routing must ignore saturation — that is what keeps the
+  // default adaptive path bit-deterministic.
+  const Schema schema{{"key", DataType::kUInt64}};
+  const std::vector<net::NodeId> target_nodes{0, 0};
+  TargetLoadBoard board(2, 2, 1);
+  board.OnDelivered(0);
+  board.OnDelivered(0);
+  ASSERT_TRUE(board.saturated(0));
+
+  uint64_t key0 = 0;
+  AdaptiveShuffleOptions opts;
+  opts.enabled = true;
+  opts.react_to_backpressure = false;
+  {
+    AdaptivePartitioner part(&schema, 0, target_nodes, opts, &board);
+    while (part.HomeTarget(key0) != 0) ++key0;
+    EXPECT_EQ(part.Route(reinterpret_cast<const uint8_t*>(&key0)).target, 0u);
+    EXPECT_EQ(part.diverted_tuples(), 0u);
+  }
+  {
+    opts.react_to_backpressure = true;  // opted in, but no board wired up
+    AdaptivePartitioner part(&schema, 0, target_nodes, opts, nullptr);
+    EXPECT_EQ(part.Route(reinterpret_cast<const uint8_t*>(&key0)).target, 0u);
+    EXPECT_EQ(part.diverted_tuples(), 0u);
+  }
+}
+
 }  // namespace
 }  // namespace dfi

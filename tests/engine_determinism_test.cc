@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "apps/consensus/consensus.h"
+#include "bench_util/workload.h"
 #include "common/exec/engine.h"
 #include "core/dfi.h"
 
@@ -143,6 +144,122 @@ TEST(EngineDeterminismTest, ShuffleTraceIdenticalAcrossPoolSizes) {
 TEST(EngineDeterminismTest, ShuffleSeedChangesTrace) {
   // Sanity: the fingerprint actually depends on the data.
   EXPECT_FALSE(ShuffleUnderEngine(2, 1) == ShuffleUnderEngine(2, 2));
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive (skew-aware) shuffle determinism
+// ---------------------------------------------------------------------------
+
+/// Witness of an adaptive zipfian shuffle. Work stealing makes *which*
+/// sink thread consumes a segment scheduling-dependent, so the trace
+/// fingerprints channels, not sinks: adaptive routing is a pure function
+/// of each source's own input prefix, hence the (source, target-column)
+/// content — count and an order-insensitive key sum — must be
+/// bit-identical at every pool size.
+struct AdaptiveTrace {
+  std::map<std::pair<uint32_t, uint32_t>, std::pair<uint64_t, uint64_t>>
+      channels;  // (src, column) -> (tuples, key sum)
+  uint64_t total_tuples = 0;
+
+  bool operator==(const AdaptiveTrace& o) const {
+    return channels == o.channels && total_tuples == o.total_tuples;
+  }
+};
+
+AdaptiveTrace AdaptiveShuffleWorkload(uint64_t seed) {
+  constexpr uint32_t kNodes = 2;
+  constexpr uint32_t kThreadsPerNode = 4;
+  constexpr uint32_t kAdTargets = kNodes * kThreadsPerNode;
+  constexpr uint32_t kAdSources = 4;
+  constexpr uint64_t kAdTuples = 4000;
+
+  net::Fabric fabric;
+  std::vector<std::string> addrs;
+  for (net::NodeId id : fabric.AddNodes(kNodes)) {
+    addrs.push_back(fabric.node(id).address());
+  }
+  DfiRuntime dfi(&fabric);
+
+  ShuffleFlowSpec spec;
+  spec.name = "det.adaptive";
+  for (uint32_t s = 0; s < kAdSources; ++s) {
+    spec.sources.Append(Endpoint{addrs[s % kNodes], s});
+  }
+  for (uint32_t t = 0; t < kAdTargets; ++t) {
+    spec.targets.Append(Endpoint{addrs[t / kThreadsPerNode], t});
+  }
+  spec.schema = Schema{{"key", DataType::kUInt64}};
+  spec.options.segments_per_ring = 8;
+  spec.options.adaptive.enabled = true;
+  spec.options.adaptive.hot_factor = 1.0;
+  spec.options.adaptive.epoch_tuples = 512;
+  DFI_CHECK(dfi.InitShuffleFlow(std::move(spec)).ok());
+
+  std::array<AdaptiveTrace, kAdTargets> local;
+  exec::ActorGroup actors;
+  for (uint32_t s = 0; s < kAdSources; ++s) {
+    actors.Spawn(s, "src." + std::to_string(s), [&dfi, s, seed] {
+      auto rel =
+          bench::GenerateZipfianRelation(kAdTuples, 1 << 16, 1.1, seed + s);
+      auto src = dfi.CreateShuffleSource("det.adaptive", s);
+      DFI_CHECK(src.ok());
+      for (const auto& t : rel) {
+        DFI_CHECK((*src)->Push(&t.key).ok());
+      }
+      DFI_CHECK((*src)->Close().ok());
+    });
+  }
+  for (uint32_t t = 0; t < kAdTargets; ++t) {
+    actors.Spawn(kAdSources + t, "tgt." + std::to_string(t),
+                 [&dfi, &local, t] {
+      auto tgt = dfi.CreateShuffleTarget("det.adaptive", t);
+      DFI_CHECK(tgt.ok());
+      SegmentView seg;
+      for (;;) {
+        const ConsumeResult r = (*tgt)->ConsumeSegment(&seg);
+        if (r == ConsumeResult::kFlowEnd) break;
+        DFI_CHECK(r == ConsumeResult::kOk);
+        const uint64_t* keys = reinterpret_cast<const uint64_t*>(seg.payload);
+        const uint64_t n = seg.bytes / sizeof(uint64_t);
+        auto& slot = local[t].channels[{seg.source_index, seg.target_column}];
+        for (uint64_t i = 0; i < n; ++i) {
+          slot.second += HashStep(0, keys[i]);  // commutative content sum
+        }
+        slot.first += n;
+        local[t].total_tuples += n;
+      }
+    });
+  }
+  actors.Join();
+
+  AdaptiveTrace trace;
+  for (const auto& part : local) {
+    for (const auto& [ch, v] : part.channels) {
+      auto& slot = trace.channels[ch];
+      slot.first += v.first;
+      slot.second += v.second;
+    }
+    trace.total_tuples += part.total_tuples;
+  }
+  return trace;
+}
+
+TEST(EngineDeterminismTest, AdaptiveShuffleTraceIdenticalAcrossPoolSizes) {
+  const uint64_t seed = 42;
+  const AdaptiveTrace threads = AdaptiveShuffleWorkload(seed);
+  EXPECT_EQ(threads.total_tuples, uint64_t{4} * 4000);
+  for (uint32_t workers : {1u, 2u, 4u}) {
+    AdaptiveTrace trace;
+    exec::Engine engine({.workers = workers, .lookahead_ns = 1000});
+    engine.Spawn(0, "root", [&] { trace = AdaptiveShuffleWorkload(seed); });
+    engine.Run();
+    EXPECT_TRUE(trace == threads)
+        << "adaptive trace diverged at pool size " << workers;
+  }
+}
+
+TEST(EngineDeterminismTest, AdaptiveShuffleSeedChangesTrace) {
+  EXPECT_FALSE(AdaptiveShuffleWorkload(1) == AdaptiveShuffleWorkload(2));
 }
 
 /// Chaos consensus: scripted leader crash + failover. The run's witnesses —
