@@ -41,4 +41,14 @@ if [ "$KIND" = "thread" ]; then
   "$BUILD/tests/engine_determinism_test" --gtest_repeat=3
 fi
 "$BUILD/bench/chaos_consensus" --seed "${DFI_CHAOS_SEED:-7}"
-echo "sanitized ($KIND) tier-1 + endpoint + chaos suite passed"
+# The graph layer: one batched publish per graph, whole-graph poison on
+# operator failure, and per-edge handle teardown — run the graph suite and
+# the multi-stage pipeline (source/window/aggregate/subscriber actors over
+# four flows) under the sanitizer, plus the examples so they can't rot.
+"$BUILD/tests/core_graph_test" --gtest_repeat=3 --gtest_shuffle
+"$BUILD/bench/pipeline_streaming" --smoke
+"$BUILD/examples/quickstart"
+"$BUILD/examples/stream_aggregation"
+"$BUILD/examples/distributed_join"
+"$BUILD/examples/replicated_kv"
+echo "sanitized ($KIND) tier-1 + endpoint + graph + chaos suite passed"

@@ -7,6 +7,7 @@
 
 #include "apps/join/hash_table.h"
 #include "bench_util/workload.h"
+#include "core/graph/executor.h"
 #include "core/replicate_flow.h"
 #include "common/hash.h"
 #include "common/logging.h"
@@ -87,15 +88,38 @@ StatusOr<JoinResult> RunDfiRadixJoin(DfiRuntime* dfi,
   RoutingFn routing = [W](TupleView t, uint32_t) {
     return NetworkDest(t.Get<uint64_t>(0), W);
   };
+  // Flow setup as a typed dataflow graph: the worker fleet appears twice
+  // (scan side / join side, same placement) with both relations' shuffles
+  // as typed edges between them. Build() validates schemas and routing in
+  // one pass and Instantiate() registers both flows in a single batched
+  // control-plane RPC; the fused scan/partition/build/probe loop below
+  // claims the endpoints (kCustom vertices).
+  graph::GraphSpec gs;
+  gs.name = "join";
+  const DfiNodes grid = DfiNodes::GridOf(nodes, config.workers_per_node);
+  graph::VertexSpec scan_vertex;
+  scan_vertex.name = "scan";
+  scan_vertex.workers = grid;
+  scan_vertex.output = {JoinSchema(), Ordering::kNone};
+  graph::VertexSpec join_vertex;
+  join_vertex.name = "join";
+  join_vertex.workers = grid;
+  gs.vertices = {std::move(scan_vertex), std::move(join_vertex)};
   for (const char* name : {"join.inner", "join.outer"}) {
-    ShuffleFlowSpec spec;
-    spec.name = name;
-    spec.sources = DfiNodes::GridOf(nodes, config.workers_per_node);
-    spec.targets = DfiNodes::GridOf(nodes, config.workers_per_node);
-    spec.schema = JoinSchema();
-    spec.routing = routing;
-    DFI_RETURN_IF_ERROR(dfi->InitShuffleFlow(std::move(spec)));
+    graph::EdgeSpec edge;
+    edge.name = name;
+    edge.from = "scan";
+    edge.to = "join";
+    edge.kind = graph::EdgeKind::kShuffle;
+    edge.type = {JoinSchema(), Ordering::kNone};
+    edge.routing = routing;
+    gs.edges.push_back(std::move(edge));
   }
+  DFI_ASSIGN_OR_RETURN(graph::Graph g,
+                       graph::Graph::Build(std::move(gs), &dfi->fabric()));
+  DFI_ASSIGN_OR_RETURN(std::unique_ptr<graph::GraphRun> run,
+                       g.Instantiate(dfi));
+  DFI_RETURN_IF_ERROR(run->Start());
 
   std::atomic<uint64_t> total_matches{0};
   std::vector<SimTime> t_partition(W), t_total(W);
@@ -104,10 +128,10 @@ StatusOr<JoinResult> RunDfiRadixJoin(DfiRuntime* dfi,
 
   for (uint32_t w = 0; w < W; ++w) {
     threads.emplace_back([&, w] {
-      auto src1 = dfi->CreateShuffleSource("join.inner", w);
-      auto tgt1 = dfi->CreateShuffleTarget("join.inner", w);
-      auto src2 = dfi->CreateShuffleSource("join.outer", w);
-      auto tgt2 = dfi->CreateShuffleTarget("join.outer", w);
+      auto src1 = run->ClaimShuffleSource("join.inner", w);
+      auto tgt1 = run->ClaimShuffleTarget("join.inner", w);
+      auto src2 = run->ClaimShuffleSource("join.outer", w);
+      auto tgt2 = run->ClaimShuffleTarget("join.outer", w);
       if (!src1.ok() || !tgt1.ok() || !src2.ok() || !tgt2.ok()) {
         failed.store(true);
         return;
@@ -238,7 +262,7 @@ StatusOr<JoinResult> RunDfiRadixJoin(DfiRuntime* dfi,
     });
   }
   for (auto& t : threads) t.join();
-  DFI_RETURN_IF_ERROR(dfi->RemoveFlows({"join.inner", "join.outer"}));
+  DFI_RETURN_IF_ERROR(run->Finish());
   if (failed.load()) return Status::Internal("join worker failed");
 
   JoinResult result;
@@ -251,6 +275,85 @@ StatusOr<JoinResult> RunDfiRadixJoin(DfiRuntime* dfi,
   result.phases.network_partition = part_sum / W;
   result.phases.total = total_max;
   result.phases.build_probe = total_max - result.phases.network_partition;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Graph-native radix join: the same join on built-in operators
+// ---------------------------------------------------------------------------
+
+StatusOr<JoinResult> RunGraphRadixJoin(DfiRuntime* dfi,
+                                       const std::vector<std::string>& nodes,
+                                       const JoinConfig& config) {
+  if (nodes.size() != config.num_nodes) {
+    return Status::InvalidArgument("node list does not match config");
+  }
+  const DfiNodes grid = DfiNodes::GridOf(nodes, config.workers_per_node);
+
+  graph::GraphSpec gs;
+  gs.name = "graph-join";
+  graph::VertexSpec inner_scan;
+  inner_scan.name = "inner-scan";
+  inner_scan.kind = graph::OpKind::kSource;
+  inner_scan.workers = grid;
+  inner_scan.output = {JoinSchema(), Ordering::kNone};
+  inner_scan.source_fn = [config](graph::OpContext& ctx,
+                                  const graph::EmitFn& emit) -> Status {
+    for (const bench::JoinTuple& t : InnerChunk(config, ctx.worker)) {
+      DFI_RETURN_IF_ERROR(emit(&t));
+    }
+    return Status::OK();
+  };
+  graph::VertexSpec outer_scan;
+  outer_scan.name = "outer-scan";
+  outer_scan.kind = graph::OpKind::kSource;
+  outer_scan.workers = grid;
+  outer_scan.output = {JoinSchema(), Ordering::kNone};
+  outer_scan.source_fn = [config](graph::OpContext& ctx,
+                                  const graph::EmitFn& emit) -> Status {
+    for (const bench::JoinTuple& t : OuterChunk(config, ctx.worker)) {
+      DFI_RETURN_IF_ERROR(emit(&t));
+    }
+    return Status::OK();
+  };
+  graph::VertexSpec join;
+  join.name = "join";
+  join.kind = graph::OpKind::kJoin;
+  join.workers = grid;
+  join.join = {.key_field = 0,
+               .payload_field = 1,
+               .local_radix_bits = config.local_radix_bits,
+               .partition_cost_ns = config.partition_cost_ns,
+               .build_cost_ns = config.build_cost_ns,
+               .probe_cost_ns = config.probe_cost_ns};
+  gs.vertices = {std::move(inner_scan), std::move(outer_scan),
+                 std::move(join)};
+  // In-edge order defines build vs probe side: edge 0 is built, edge 1
+  // probed.
+  graph::EdgeSpec inner_edge;
+  inner_edge.name = "graph-join.inner";
+  inner_edge.from = "inner-scan";
+  inner_edge.to = "join";
+  inner_edge.type = {JoinSchema(), Ordering::kNone};
+  graph::EdgeSpec outer_edge;
+  outer_edge.name = "graph-join.outer";
+  outer_edge.from = "outer-scan";
+  outer_edge.to = "join";
+  outer_edge.type = {JoinSchema(), Ordering::kNone};
+  gs.edges = {std::move(inner_edge), std::move(outer_edge)};
+
+  DFI_ASSIGN_OR_RETURN(graph::Graph g,
+                       graph::Graph::Build(std::move(gs), &dfi->fabric()));
+  DFI_ASSIGN_OR_RETURN(std::unique_ptr<graph::GraphRun> run,
+                       g.Instantiate(dfi));
+  DFI_RETURN_IF_ERROR(run->Start());
+  DFI_RETURN_IF_ERROR(run->Finish());
+
+  const graph::GraphRun::VertexStats stats = run->stats("join");
+  JoinResult result;
+  result.matches = stats.join_matches;
+  result.phases.total = stats.max_clock;
+  result.phases.build_probe = stats.max_clock;
   return result;
 }
 

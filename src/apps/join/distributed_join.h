@@ -59,6 +59,15 @@ StatusOr<JoinResult> RunDfiRadixJoin(DfiRuntime* dfi,
                                      const std::vector<std::string>& nodes,
                                      const JoinConfig& config);
 
+/// The same radix join expressed entirely as built-in graph operators: two
+/// kSource scans feeding a kJoin vertex over typed shuffle edges. Produces
+/// the same match count as RunDfiRadixJoin; phase timings are coarser (the
+/// built-in operator does not overlap push and consume), so the fused
+/// variant above remains the figure-13 configuration.
+StatusOr<JoinResult> RunGraphRadixJoin(DfiRuntime* dfi,
+                                       const std::vector<std::string>& nodes,
+                                       const JoinConfig& config);
+
 /// Baseline: MPI radix join following Barthels et al. [2] — histogram pass,
 /// exclusive-offset MPI_Put network partitioning, fence barrier, then local
 /// partition + build/probe.

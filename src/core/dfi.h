@@ -11,6 +11,8 @@
 #include "core/combiner_flow.h"   // IWYU pragma: export
 #include "core/dfi_runtime.h"     // IWYU pragma: export
 #include "core/flow_options.h"    // IWYU pragma: export
+#include "core/graph/executor.h"  // IWYU pragma: export
+#include "core/graph/graph.h"     // IWYU pragma: export
 #include "core/nodes.h"           // IWYU pragma: export
 #include "core/replicate_flow.h"  // IWYU pragma: export
 #include "core/routing.h"         // IWYU pragma: export

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "core/combiner_flow.h"
+#include "core/graph/diagnostics.h"
 #include "core/replicate_flow.h"
 
 namespace dfi {
@@ -35,24 +36,12 @@ StatusOr<std::shared_ptr<StateT>> DfiRuntime::LookupState(
 // ---- Shuffle ---------------------------------------------------------------
 
 Status DfiRuntime::InitShuffleFlow(ShuffleFlowSpec spec) {
-  if (spec.name.empty()) {
-    return Status::InvalidArgument("flow name must not be empty");
-  }
-  if (spec.sources.empty() || spec.targets.empty()) {
-    return Status::InvalidArgument("flow '" + spec.name +
-                                   "' needs at least one source and target");
-  }
-  if (spec.shuffle_key_index >= spec.schema.num_fields()) {
-    return Status::InvalidArgument("shuffle key index out of range");
-  }
-  if (spec.options.adaptive.enabled && spec.routing.set() &&
-      spec.routing.kind() != RoutingSpec::Kind::kKeyHash) {
-    // Adaptive routing re-splits around the key-hash home function; radix
-    // and generic routings carry no geometry it could wrap.
-    return Status::InvalidArgument(
-        "flow '" + spec.name +
-        "': adaptive shuffle requires key-hash (or default) routing");
-  }
+  // Single-edge slice of the graph layer's typed diagnostic pass (a
+  // standalone flow is a one-edge graph with anonymous endpoints).
+  std::vector<graph::Diagnostic> diags;
+  graph::ValidateShuffleSpec(spec, /*source_vertex=*/"", /*target_vertex=*/"",
+                             &diags);
+  DFI_RETURN_IF_ERROR(graph::DiagnosticsToStatus(diags));
   const std::string name = spec.name;
   auto state = std::make_shared<ShuffleFlowState>(std::move(spec),
                                                   rdma_.get());
@@ -82,17 +71,10 @@ StatusOr<std::unique_ptr<ShuffleTarget>> DfiRuntime::CreateShuffleTarget(
 // ---- Replicate -------------------------------------------------------------
 
 Status DfiRuntime::InitReplicateFlow(ReplicateFlowSpec spec) {
-  if (spec.name.empty()) {
-    return Status::InvalidArgument("flow name must not be empty");
-  }
-  if (spec.sources.empty() || spec.targets.empty()) {
-    return Status::InvalidArgument("flow '" + spec.name +
-                                   "' needs at least one source and target");
-  }
-  if (spec.options.global_ordering && !spec.options.use_multicast) {
-    return Status::Unimplemented(
-        "global ordering requires the multicast transport");
-  }
+  std::vector<graph::Diagnostic> diags;
+  graph::ValidateReplicateSpec(spec, /*source_vertex=*/"",
+                               /*target_vertex=*/"", &diags);
+  DFI_RETURN_IF_ERROR(graph::DiagnosticsToStatus(diags));
   const std::string name = spec.name;
   auto state = std::make_shared<ReplicateFlowState>(std::move(spec),
                                                     rdma_.get());
@@ -122,41 +104,14 @@ StatusOr<std::unique_ptr<ReplicateTarget>> DfiRuntime::CreateReplicateTarget(
 // ---- Combiner --------------------------------------------------------------
 
 Status DfiRuntime::InitCombinerFlow(CombinerFlowSpec spec) {
-  if (spec.name.empty()) {
-    return Status::InvalidArgument("flow name must not be empty");
+  std::vector<net::NodeId> target_nodes;
+  if (!spec.targets.empty()) {
+    DFI_ASSIGN_OR_RETURN(target_nodes, spec.targets.Resolve(*fabric_));
   }
-  if (spec.sources.empty() || spec.targets.empty()) {
-    return Status::InvalidArgument("flow '" + spec.name +
-                                   "' needs at least one source and target");
-  }
-  if (spec.aggregates.empty()) {
-    return Status::InvalidArgument("combiner flow needs >= 1 aggregate");
-  }
-  if (!spec.global_aggregate &&
-      spec.group_by_index >= spec.schema.num_fields()) {
-    return Status::InvalidArgument("group-by index out of range");
-  }
-  for (const AggSpec& agg : spec.aggregates) {
-    if (agg.func != AggFunc::kCount &&
-        agg.field_index >= spec.schema.num_fields()) {
-      return Status::InvalidArgument("aggregate field index out of range");
-    }
-  }
-  // N:1 unless the spec opts into multi-node targets (paper section 4.2.3
-  // describes N:1; the transport also supports spreading the group-key
-  // partitions over nodes, but accidental fan-out is rejected).
-  if (!spec.multi_node_targets) {
-    DFI_ASSIGN_OR_RETURN(std::vector<net::NodeId> target_nodes,
-                         spec.targets.Resolve(*fabric_));
-    for (net::NodeId t : target_nodes) {
-      if (t != target_nodes[0]) {
-        return Status::InvalidArgument(
-            "combiner flow '" + spec.name +
-            "' targets span multiple nodes; set multi_node_targets to opt "
-            "into the N:M topology");
-      }
-    }
-  }
+  std::vector<graph::Diagnostic> diags;
+  graph::ValidateCombinerSpec(spec, /*source_vertex=*/"",
+                              /*target_vertex=*/"", &target_nodes, &diags);
+  DFI_RETURN_IF_ERROR(graph::DiagnosticsToStatus(diags));
   const std::string name = spec.name;
   auto state = std::make_shared<CombinerFlowState>(std::move(spec),
                                                    rdma_.get());

@@ -1,0 +1,31 @@
+#ifndef DFI_CORE_GRAPH_LOWERING_H_
+#define DFI_CORE_GRAPH_LOWERING_H_
+
+#include "core/combiner_flow.h"
+#include "core/graph/graph.h"
+#include "core/replicate_flow.h"
+#include "core/shuffle_flow.h"
+
+namespace dfi::graph {
+
+// Edge -> flow-spec lowering, shared by the validation pass (the per-flow
+// rules run against the exact spec that will be instantiated) and the
+// planner (GraphRun constructs flow states from the same specs). The
+// from-vertex placement becomes the source side, the to-vertex placement
+// the target side; worker w of a vertex is endpoint w of every adjacent
+// edge.
+
+ShuffleFlowSpec LowerShuffleEdge(const EdgeSpec& edge, const VertexSpec& from,
+                                 const VertexSpec& to);
+
+ReplicateFlowSpec LowerReplicateEdge(const EdgeSpec& edge,
+                                     const VertexSpec& from,
+                                     const VertexSpec& to);
+
+CombinerFlowSpec LowerCombinerEdge(const EdgeSpec& edge,
+                                   const VertexSpec& from,
+                                   const VertexSpec& to);
+
+}  // namespace dfi::graph
+
+#endif  // DFI_CORE_GRAPH_LOWERING_H_

@@ -57,6 +57,18 @@ const char* DataTypeName(DataType type) {
   return "?";
 }
 
+const char* OrderingName(Ordering ordering) {
+  switch (ordering) {
+    case Ordering::kNone:
+      return "none";
+    case Ordering::kPerChannel:
+      return "per-channel";
+    case Ordering::kGlobal:
+      return "global";
+  }
+  return "?";
+}
+
 StatusOr<Schema> Schema::Create(std::vector<Field> fields) {
   if (fields.empty()) {
     return Status::InvalidArgument("schema must have at least one field");
@@ -99,6 +111,64 @@ StatusOr<size_t> Schema::IndexOf(const std::string& name) const {
     if (fields_[i].name == name) return i;
   }
   return Status::NotFound("field '" + name + "'");
+}
+
+StatusOr<Schema> Schema::Extend(const Field& field) const {
+  std::vector<Field> fields = fields_;
+  fields.push_back(field);
+  return Create(std::move(fields));
+}
+
+StatusOr<Schema> Schema::WithField(const Field& field) const {
+  std::vector<Field> fields = fields_;
+  for (Field& f : fields) {
+    if (f.name == field.name) {
+      f = field;
+      return Create(std::move(fields));
+    }
+  }
+  return Status::NotFound("field '" + field.name + "'");
+}
+
+StatusOr<Schema> Schema::Project(const std::vector<std::string>& names) const {
+  std::vector<Field> fields;
+  fields.reserve(names.size());
+  for (const std::string& name : names) {
+    DFI_ASSIGN_OR_RETURN(size_t i, IndexOf(name));
+    fields.push_back(fields_[i]);
+  }
+  return Create(std::move(fields));
+}
+
+Status CheckCompatible(const Schema& produced, const Schema& required) {
+  if (produced.num_fields() != required.num_fields()) {
+    return Status::InvalidArgument(
+        "schema mismatch: produced " + produced.ToString() + " has " +
+        std::to_string(produced.num_fields()) + " fields, edge requires " +
+        std::to_string(required.num_fields()));
+  }
+  for (size_t i = 0; i < produced.num_fields(); ++i) {
+    const Field& p = produced.field(i);
+    const Field& r = required.field(i);
+    if (p.name != r.name) {
+      return Status::InvalidArgument(
+          "schema mismatch at field " + std::to_string(i) +
+          ": produced field '" + p.name + "', edge requires '" + r.name +
+          "'");
+    }
+    if (p.type != r.type) {
+      return Status::InvalidArgument(
+          "schema mismatch at field '" + p.name + "': produced type " +
+          DataTypeName(p.type) + ", edge requires " + DataTypeName(r.type));
+    }
+    if (produced.field_size(i) != required.field_size(i)) {
+      return Status::InvalidArgument(
+          "schema mismatch at field '" + p.name + "': produced width " +
+          std::to_string(produced.field_size(i)) + " B, edge requires " +
+          std::to_string(required.field_size(i)) + " B");
+    }
+  }
+  return Status::OK();
 }
 
 bool Schema::operator==(const Schema& other) const {

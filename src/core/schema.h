@@ -32,6 +32,30 @@ enum class DataType : uint8_t {
 size_t DataTypeSize(DataType type);
 const char* DataTypeName(DataType type);
 
+/// Delivery-order guarantee carried by a typed dataflow edge (paper
+/// sections 4.2.2 / 5.4; DESIGN.md §14). Orderings form a total strength
+/// order kNone < kPerChannel < kGlobal:
+///  - kNone: content only; no order guarantee survives the edge.
+///  - kPerChannel: per (source, key) FIFO — what a static shuffle or a
+///    naive replicate delivers.
+///  - kGlobal: one total order observed by every target (OUM; requires the
+///    multicast sequencer).
+enum class Ordering : uint8_t {
+  kNone = 0,
+  kPerChannel = 1,
+  kGlobal = 2,
+};
+
+const char* OrderingName(Ordering ordering);
+
+/// Ordering surviving a chain of stages: the weakest link wins. An operator
+/// that receives kPerChannel input cannot emit kGlobal output no matter
+/// what its outgoing edge provides, and a kNone edge erases any upstream
+/// guarantee.
+inline Ordering ComposeOrdering(Ordering upstream, Ordering edge) {
+  return upstream < edge ? upstream : edge;
+}
+
 /// One attribute of a DFI schema.
 struct Field {
   std::string name;
@@ -68,6 +92,19 @@ class Schema {
   /// Index of the field named `name`; NotFound otherwise.
   StatusOr<size_t> IndexOf(const std::string& name) const;
 
+  // ---- Composition (graph-edge typing, DESIGN.md §14) ---------------------
+  /// This schema plus one appended field (operator output widening, e.g. a
+  /// window stage appending its window key). Fails on duplicate names.
+  StatusOr<Schema> Extend(const Field& field) const;
+
+  /// This schema with the field named `field.name` replaced by `field`
+  /// (type/width change in place; offsets recomputed). NotFound when no
+  /// such field exists.
+  StatusOr<Schema> WithField(const Field& field) const;
+
+  /// The named fields, in the given order (operator output narrowing).
+  StatusOr<Schema> Project(const std::vector<std::string>& names) const;
+
   bool operator==(const Schema& other) const;
 
   std::string ToString() const;
@@ -76,6 +113,19 @@ class Schema {
   std::vector<Field> fields_;
   std::vector<size_t> offsets_;
   size_t tuple_size_ = 0;
+};
+
+/// Edge-compatibility check of the graph layer: `produced` (what the
+/// upstream operator emits) must match `required` (what the edge carries)
+/// field by field. On mismatch the message names the first offending field
+/// and whether names, types, or widths diverge.
+Status CheckCompatible(const Schema& produced, const Schema& required);
+
+/// The type of a dataflow-graph edge: the tuple schema plus the delivery
+/// ordering the edge is required to provide.
+struct EdgeType {
+  Schema schema;
+  Ordering ordering = Ordering::kNone;
 };
 
 /// Read-only view of one packed tuple described by a Schema. Cheap to copy;

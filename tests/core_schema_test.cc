@@ -101,5 +101,137 @@ TEST(TupleTest, SetBytes) {
   EXPECT_EQ(std::memcmp(view.FieldPtr(0), "hello", 5), 0);
 }
 
+// ---- Composition paths (graph-edge typing, DESIGN.md §14) ------------------
+
+TEST(SchemaCompositionTest, ExtendAppendsAndRecomputesOffsets) {
+  Schema base{{"key", DataType::kUInt64}, {"seq", DataType::kUInt64}};
+  auto extended = base.Extend({"wkey", DataType::kUInt64, 0});
+  ASSERT_TRUE(extended.ok()) << extended.status();
+  EXPECT_EQ(extended->num_fields(), 3u);
+  EXPECT_EQ(extended->offset(2), 16u);
+  EXPECT_EQ(extended->tuple_size(), 24u);
+  // The original is untouched (value semantics).
+  EXPECT_EQ(base.num_fields(), 2u);
+}
+
+TEST(SchemaCompositionTest, ExtendRejectsDuplicateName) {
+  Schema base{{"key", DataType::kUInt64}};
+  auto extended = base.Extend({"key", DataType::kUInt32, 0});
+  EXPECT_EQ(extended.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaCompositionTest, WithFieldReplacesInPlace) {
+  Schema base{{"key", DataType::kUInt64},
+              {"pad", DataType::kChar, 8},
+              {"val", DataType::kUInt64}};
+  auto widened = base.WithField({"pad", DataType::kChar, 24});
+  ASSERT_TRUE(widened.ok()) << widened.status();
+  EXPECT_EQ(widened->field_size(1), 24u);
+  EXPECT_EQ(widened->offset(2), 32u) << "offsets must be recomputed";
+  EXPECT_EQ(base.WithField({"nope", DataType::kUInt64, 0}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SchemaCompositionTest, ProjectSelectsAndReorders) {
+  Schema base{{"a", DataType::kUInt64},
+              {"b", DataType::kUInt32},
+              {"c", DataType::kDouble}};
+  auto narrow = base.Project({"c", "a"});
+  ASSERT_TRUE(narrow.ok()) << narrow.status();
+  EXPECT_EQ(narrow->num_fields(), 2u);
+  EXPECT_EQ(narrow->field(0).name, "c");
+  EXPECT_EQ(narrow->field(1).name, "a");
+  EXPECT_EQ(narrow->offset(1), 8u);
+  EXPECT_EQ(base.Project({"a", "missing"}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SchemaCompositionTest, CheckCompatibleFieldCountMismatch) {
+  Schema produced{{"key", DataType::kUInt64}};
+  Schema required{{"key", DataType::kUInt64}, {"val", DataType::kUInt64}};
+  const Status s = CheckCompatible(produced, required);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("1 fields"), std::string::npos) << s;
+  EXPECT_NE(s.message().find("requires 2"), std::string::npos) << s;
+}
+
+TEST(SchemaCompositionTest, CheckCompatibleFieldNameMismatch) {
+  Schema produced{{"key", DataType::kUInt64}, {"value", DataType::kUInt64}};
+  Schema required{{"key", DataType::kUInt64}, {"payload", DataType::kUInt64}};
+  const Status s = CheckCompatible(produced, required);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  // The message names the first offending field on both sides.
+  EXPECT_NE(s.message().find("'value'"), std::string::npos) << s;
+  EXPECT_NE(s.message().find("'payload'"), std::string::npos) << s;
+}
+
+TEST(SchemaCompositionTest, CheckCompatibleTypeMismatch) {
+  Schema produced{{"key", DataType::kUInt64}, {"score", DataType::kDouble}};
+  Schema required{{"key", DataType::kUInt64}, {"score", DataType::kInt64}};
+  const Status s = CheckCompatible(produced, required);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("'score'"), std::string::npos) << s;
+  EXPECT_NE(s.message().find("double"), std::string::npos) << s;
+  EXPECT_NE(s.message().find("int64"), std::string::npos) << s;
+}
+
+TEST(SchemaCompositionTest, CheckCompatibleWidthMismatch) {
+  Schema produced{{"key", DataType::kUInt64}, {"pad", DataType::kChar, 8}};
+  Schema required{{"key", DataType::kUInt64}, {"pad", DataType::kChar, 24}};
+  const Status s = CheckCompatible(produced, required);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("width 8"), std::string::npos) << s;
+  EXPECT_NE(s.message().find("requires 24"), std::string::npos) << s;
+}
+
+TEST(SchemaCompositionTest, CheckCompatibleAcceptsChainedDerivation) {
+  // The window operator's actual derivation: extend the ingest schema by
+  // the fused window key, then require exactly that on the combiner edge.
+  Schema ingest{{"key", DataType::kUInt64}, {"seq", DataType::kUInt64}};
+  auto windowed = ingest.Extend({"wkey", DataType::kUInt64, 0});
+  ASSERT_TRUE(windowed.ok());
+  Schema required{{"key", DataType::kUInt64},
+                  {"seq", DataType::kUInt64},
+                  {"wkey", DataType::kUInt64}};
+  EXPECT_TRUE(CheckCompatible(*windowed, required).ok());
+}
+
+TEST(OrderingTest, StrengthOrder) {
+  EXPECT_LT(Ordering::kNone, Ordering::kPerChannel);
+  EXPECT_LT(Ordering::kPerChannel, Ordering::kGlobal);
+  EXPECT_STREQ(OrderingName(Ordering::kNone), "none");
+  EXPECT_STREQ(OrderingName(Ordering::kPerChannel), "per-channel");
+  EXPECT_STREQ(OrderingName(Ordering::kGlobal), "global");
+}
+
+TEST(OrderingTest, ComposeIsWeakestLink) {
+  EXPECT_EQ(ComposeOrdering(Ordering::kGlobal, Ordering::kPerChannel),
+            Ordering::kPerChannel);
+  EXPECT_EQ(ComposeOrdering(Ordering::kPerChannel, Ordering::kGlobal),
+            Ordering::kPerChannel);
+  EXPECT_EQ(ComposeOrdering(Ordering::kNone, Ordering::kGlobal),
+            Ordering::kNone);
+  EXPECT_EQ(ComposeOrdering(Ordering::kGlobal, Ordering::kGlobal),
+            Ordering::kGlobal);
+}
+
+TEST(OrderingTest, PropagatesAcrossChainedEdges) {
+  // A kNone edge anywhere in a chain erases the guarantee for everything
+  // downstream, no matter how strong the later edges are.
+  const Ordering chain_weak_middle = ComposeOrdering(
+      ComposeOrdering(Ordering::kGlobal, Ordering::kNone), Ordering::kGlobal);
+  EXPECT_EQ(chain_weak_middle, Ordering::kNone);
+  // An all-global chain keeps the global guarantee end to end.
+  const Ordering chain_strong = ComposeOrdering(
+      ComposeOrdering(Ordering::kGlobal, Ordering::kGlobal),
+      Ordering::kGlobal);
+  EXPECT_EQ(chain_strong, Ordering::kGlobal);
+  // Composition is associative: grouping does not change the outcome.
+  EXPECT_EQ(ComposeOrdering(Ordering::kGlobal,
+                            ComposeOrdering(Ordering::kNone,
+                                            Ordering::kGlobal)),
+            chain_weak_middle);
+}
+
 }  // namespace
 }  // namespace dfi

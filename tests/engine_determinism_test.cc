@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "apps/consensus/consensus.h"
+#include "apps/pipeline/streaming_pipeline.h"
 #include "bench_util/workload.h"
 #include "common/exec/engine.h"
 #include "core/dfi.h"
@@ -303,6 +304,57 @@ TEST(EngineDeterminismTest, ChaosConsensusIdenticalAcrossPoolSizes) {
     EXPECT_TRUE(trace == threads)
         << "chaos trace diverged at pool size " << workers;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-stage graph pipeline (ingest -> adaptive shuffle -> window ->
+// combiner aggregate -> replicate -> subscribers)
+// ---------------------------------------------------------------------------
+
+/// The pipeline's witnesses: window assignment is a pure function of tuple
+/// content and the combiner folds are commutative, so the full
+/// group -> (COUNT, SUM) content map and the per-subscriber commutative
+/// fingerprints must be identical at every pool size. Row *delivery order*
+/// at the subscribers legitimately varies — the fingerprints are
+/// order-insensitive by construction.
+pipeline::PipelineResult PipelineWorkload(uint64_t seed) {
+  pipeline::PipelineConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.tuples_per_source = 2048;
+  cfg.key_domain = 256;
+  cfg.zipf_theta = 0.99;  // exercise the adaptive path, not just uniform
+  cfg.seed = seed;
+  net::Fabric fabric;
+  std::vector<std::string> addrs;
+  for (net::NodeId id : fabric.AddNodes(cfg.num_nodes)) {
+    addrs.push_back(fabric.node(id).address());
+  }
+  DfiRuntime dfi(&fabric);
+  auto r = pipeline::RunStreamingPipeline(&dfi, addrs, cfg);
+  DFI_CHECK(r.ok()) << r.status();
+  return std::move(*r);
+}
+
+TEST(EngineDeterminismTest, PipelineContentIdenticalAcrossPoolSizes) {
+  const uint64_t seed = 42;
+  const pipeline::PipelineResult threads = PipelineWorkload(seed);
+  EXPECT_EQ(threads.tuples_ingested, uint64_t{4} * 2 * 2048);
+  EXPECT_FALSE(threads.windows.empty());
+  for (uint32_t workers : {1u, 2u, 4u}) {
+    pipeline::PipelineResult run;
+    exec::Engine engine({.workers = workers, .lookahead_ns = 1000});
+    engine.Spawn(0, "root", [&] { run = PipelineWorkload(seed); });
+    engine.Run();
+    EXPECT_EQ(run.windows, threads.windows)
+        << "pipeline content diverged at pool size " << workers;
+    EXPECT_EQ(run.fingerprints, threads.fingerprints)
+        << "subscriber fingerprints diverged at pool size " << workers;
+    EXPECT_EQ(run.rows_delivered, threads.rows_delivered);
+  }
+}
+
+TEST(EngineDeterminismTest, PipelineSeedChangesContent) {
+  EXPECT_NE(PipelineWorkload(1).windows, PipelineWorkload(2).windows);
 }
 
 }  // namespace

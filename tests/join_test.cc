@@ -72,6 +72,19 @@ TEST_F(DistributedJoinTest, DfiRadixJoinMatchesReference) {
   EXPECT_EQ(result->phases.sync_barrier, 0) << "DFI join needs no barrier";
 }
 
+TEST_F(DistributedJoinTest, GraphRadixJoinMatchesReference) {
+  // The same join expressed as built-in graph operators (two kSource scans
+  // feeding a kJoin vertex) finds exactly the reference match count.
+  net::Fabric fabric;
+  const JoinConfig cfg = SmallConfig();
+  auto addrs = SetUpNodes(&fabric, cfg.num_nodes);
+  DfiRuntime dfi(&fabric);
+  auto result = RunGraphRadixJoin(&dfi, addrs, cfg);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->matches, ReferenceJoinMatches(cfg));
+  EXPECT_GT(result->phases.total, 0);
+}
+
 TEST_F(DistributedJoinTest, MpiRadixJoinMatchesReference) {
   net::Fabric fabric;
   const JoinConfig cfg = SmallConfig();
